@@ -1,0 +1,180 @@
+// Command depscope runs the full reproduction: it generates the synthetic
+// Internet for both snapshots (2016, 2020), executes the measurement
+// pipeline of the paper's §3 against it, and prints every table and figure
+// of the evaluation.
+//
+// Usage:
+//
+//	depscope [-scale N] [-seed S] [-workers W] [-experiment name]
+//
+// With -experiment, only the named table/figure is printed (e.g. "table3",
+// "figure5", "figure7").
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"depscope/internal/analysis"
+	"depscope/internal/casestudy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("depscope: ")
+	var (
+		scale      = flag.Int("scale", 100000, "ranked-list length (the paper uses 100000)")
+		seed       = flag.Int64("seed", 2020, "generator seed")
+		workers    = flag.Int("workers", 0, "measurement concurrency (0 = GOMAXPROCS)")
+		experiment = flag.String("experiment", "", "print only one experiment (table1..table11, figure2..figure9, hidden, criticaldeps, robustness)")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+		outage     = flag.String("outage", "", "what-if analysis: provider identity to fail (e.g. dnsmadeeasy.com, Akamai)")
+		dotFile    = flag.String("dot", "", "write the 2020 dependency graph in Graphviz format to this file")
+		asJSON     = flag.Bool("json", false, "emit the experiment summary as JSON instead of text")
+		csvFigure  = flag.String("csv", "", "emit one figure's data series as CSV (figure2..figure4, figure6-dns/cdn/ca, figure7..figure9)")
+	)
+	flag.Parse()
+
+	renderers := map[string]func(*analysis.Run){
+		"table1":       func(r *analysis.Run) { analysis.RenderTable1(os.Stdout, r) },
+		"table2":       func(r *analysis.Run) { analysis.RenderTable2(os.Stdout, r) },
+		"table3":       func(r *analysis.Run) { analysis.RenderTable3(os.Stdout, r) },
+		"table4":       func(r *analysis.Run) { analysis.RenderTable4(os.Stdout, r) },
+		"table5":       func(r *analysis.Run) { analysis.RenderTable5(os.Stdout, r) },
+		"table6":       func(r *analysis.Run) { analysis.RenderTable6(os.Stdout, r) },
+		"table7":       func(r *analysis.Run) { analysis.RenderTable7(os.Stdout, r) },
+		"table8":       func(r *analysis.Run) { analysis.RenderTable8(os.Stdout, r) },
+		"table9":       func(r *analysis.Run) { analysis.RenderTable9(os.Stdout, r) },
+		"figure2":      func(r *analysis.Run) { analysis.RenderFigure2(os.Stdout, r) },
+		"figure3":      func(r *analysis.Run) { analysis.RenderFigure3(os.Stdout, r) },
+		"figure4":      func(r *analysis.Run) { analysis.RenderFigure4(os.Stdout, r) },
+		"figure5":      func(r *analysis.Run) { analysis.RenderFigure5(os.Stdout, r) },
+		"figure6":      func(r *analysis.Run) { analysis.RenderFigure6(os.Stdout, r) },
+		"figure7":      func(r *analysis.Run) { analysis.RenderFigure7(os.Stdout, r) },
+		"figure8":      func(r *analysis.Run) { analysis.RenderFigure8(os.Stdout, r) },
+		"figure9":      func(r *analysis.Run) { analysis.RenderFigure9(os.Stdout, r) },
+		"hidden":       func(r *analysis.Run) { analysis.RenderHiddenDeps(os.Stdout, r) },
+		"criticaldeps": func(r *analysis.Run) { analysis.RenderCriticalDeps(os.Stdout, r) },
+		"table10":      func(*analysis.Run) { renderHospitals(*seed) },
+		"table11":      func(*analysis.Run) { renderSmartHome() },
+		"robustness":   func(r *analysis.Run) { analysis.RenderRobustness(os.Stdout, r) },
+		"validation": func(r *analysis.Run) {
+			if err := analysis.RenderValidation(os.Stdout, r); err != nil {
+				log.Fatal(err)
+			}
+		},
+		"ablation": func(r *analysis.Run) {
+			if err := analysis.RenderAblation(os.Stdout, r); err != nil {
+				log.Fatal(err)
+			}
+		},
+	}
+	name := strings.ToLower(*experiment)
+	if name != "" {
+		if _, ok := renderers[name]; !ok {
+			var known []string
+			for k := range renderers {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			log.Fatalf("unknown experiment %q; available: %s", name, strings.Join(known, ", "))
+		}
+	}
+
+	// The case studies do not need the main-universe run.
+	if name == "table10" {
+		renderHospitals(*seed)
+		return
+	}
+	if name == "table11" {
+		renderSmartHome()
+		return
+	}
+
+	start := time.Now()
+	if !*quiet {
+		log.Printf("generating and measuring %d sites x 2 snapshots (seed %d)", *scale, *seed)
+	}
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			log.Printf(format, args...)
+		}
+	}
+	run, err := analysis.Execute(context.Background(), analysis.Options{
+		Scale:    *scale,
+		Seed:     *seed,
+		Workers:  *workers,
+		Progress: progress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		log.Printf("measurement complete in %v", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := analysis.WriteDOT(f, run, 200); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote dependency graph to %s", *dotFile)
+	}
+	if *outage != "" {
+		analysis.RenderOutage(os.Stdout, run, *outage)
+		return
+	}
+	if *csvFigure != "" {
+		if err := analysis.WriteFigureCSV(os.Stdout, run, *csvFigure); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *asJSON {
+		if err := analysis.WriteJSON(os.Stdout, run); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if name != "" {
+		renderers[name](run)
+		return
+	}
+	fmt.Printf("depscope: third-party dependency analysis (scale %d, seed %d)\n", *scale, *seed)
+	analysis.Report(os.Stdout, run)
+	if err := analysis.RenderValidation(os.Stdout, run); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	renderHospitals(*seed)
+	fmt.Println()
+	renderSmartHome()
+}
+
+func renderHospitals(seed int64) {
+	rep, err := casestudy.Hospitals(context.Background(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+}
+
+func renderSmartHome() {
+	rep, err := casestudy.SmartHome(context.Background(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+}

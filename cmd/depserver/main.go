@@ -1,0 +1,88 @@
+// Command depserver materializes a snapshot of the synthetic Internet and
+// serves its zones over real UDP+TCP DNS, so external tools (cmd/digsim,
+// dig, the examples) can interrogate the same world the measurement
+// pipeline analyzes.
+//
+// Usage:
+//
+//	depserver [-scale N] [-seed S] [-year 2016|2020] [-addr host:port]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"depscope/internal/dnsserver"
+	"depscope/internal/dnszone"
+	"depscope/internal/ecosystem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("depserver: ")
+	var (
+		scale    = flag.Int("scale", 5000, "ranked-list length")
+		seed     = flag.Int64("seed", 2020, "generator seed")
+		year     = flag.Int("year", 2020, "snapshot year (2016 or 2020)")
+		addr     = flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
+		verbose  = flag.Bool("v", false, "log every query")
+		zonefile = flag.String("zonefile", "", "additionally serve a zone from this RFC 1035 master file")
+		export   = flag.String("export", "", "write the zone of this domain to stdout as a master file and exit")
+	)
+	flag.Parse()
+
+	snap := ecosystem.Y2020
+	if *year == 2016 {
+		snap = ecosystem.Y2016
+	} else if *year != 2020 {
+		log.Fatalf("unsupported year %d", *year)
+	}
+
+	u, err := ecosystem.Generate(ecosystem.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	world := ecosystem.Materialize(u, snap)
+	log.Printf("materialized %s snapshot: %d sites, %d zones",
+		snap, len(world.Sites), world.Zones.ZoneCount())
+
+	if *export != "" {
+		z := world.Zones.FindZone(*export)
+		if z == nil {
+			log.Fatalf("no zone of authority for %q", *export)
+		}
+		if _, err := z.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *zonefile != "" {
+		f, err := os.Open(*zonefile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		z, err := dnszone.ParseZone(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		world.Zones.AddZone(z)
+		log.Printf("loaded extra zone %s from %s", z.Origin, *zonefile)
+	}
+
+	cfg := dnsserver.Config{Addr: *addr}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := dnsserver.New(world.Zones, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("served %d queries", srv.Queries())
+}

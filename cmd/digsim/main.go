@@ -1,0 +1,124 @@
+// Command digsim is a dig-style DNS query tool for the simulated Internet.
+// It speaks the real wire protocol (UDP with TCP fallback on truncation)
+// against any server — typically cmd/depserver.
+//
+// Usage:
+//
+//	digsim [@server:port] name [type]
+//	digsim @127.0.0.1:5353 w000001.com NS
+//	digsim @127.0.0.1:5353 w000001.com SOA
+//	digsim @127.0.0.1:5353 w000001.com AXFR   (full zone transfer over TCP)
+//
+// Exit status is 0 on NOERROR, 1 on any other response code or error.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"depscope/internal/dnsmsg"
+	"depscope/internal/resolver"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: digsim [@server:port] name [A|NS|CNAME|SOA|TXT|AAAA|ANY]")
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("digsim: ")
+
+	server := "127.0.0.1:5353"
+	var args []string
+	for _, a := range os.Args[1:] {
+		if strings.HasPrefix(a, "@") {
+			server = strings.TrimPrefix(a, "@")
+			continue
+		}
+		args = append(args, a)
+	}
+	if len(args) < 1 || len(args) > 2 {
+		usage()
+	}
+	name := args[0]
+	qtype := dnsmsg.TypeA
+	if len(args) == 2 {
+		var ok bool
+		qtype, ok = parseType(args[1])
+		if !ok {
+			usage()
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	if qtype == dnsmsg.TypeAXFR {
+		start := time.Now()
+		records, err := resolver.AXFR(ctx, server, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(";; AXFR %s @%s: %d records\n", dnsmsg.CanonicalName(name), server, len(records))
+		for _, r := range records {
+			fmt.Println(r.String())
+		}
+		fmt.Printf(";; transfer time: %v\n", time.Since(start).Round(time.Microsecond))
+		return
+	}
+
+	r := resolver.New(resolver.NewUDPTransport(server))
+	start := time.Now()
+	res, err := r.Lookup(ctx, name, qtype)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf(";; QUESTION: %s %s @%s\n", dnsmsg.CanonicalName(name), qtype, server)
+	fmt.Printf(";; status: %s, %d answer(s), %d authority\n",
+		res.RCode, len(res.Answers), len(res.Authority))
+	if len(res.Answers) > 0 {
+		fmt.Println(";; ANSWER SECTION:")
+		for _, a := range res.Answers {
+			fmt.Println(a.String())
+		}
+	}
+	if len(res.Authority) > 0 {
+		fmt.Println(";; AUTHORITY SECTION:")
+		for _, a := range res.Authority {
+			fmt.Println(a.String())
+		}
+	}
+	fmt.Printf(";; query time: %v\n", time.Since(start).Round(time.Microsecond))
+	if res.RCode != dnsmsg.RCodeSuccess {
+		os.Exit(1)
+	}
+}
+
+func parseType(s string) (dnsmsg.Type, bool) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return dnsmsg.TypeA, true
+	case "NS":
+		return dnsmsg.TypeNS, true
+	case "CNAME":
+		return dnsmsg.TypeCNAME, true
+	case "SOA":
+		return dnsmsg.TypeSOA, true
+	case "TXT":
+		return dnsmsg.TypeTXT, true
+	case "AAAA":
+		return dnsmsg.TypeAAAA, true
+	case "MX":
+		return dnsmsg.TypeMX, true
+	case "AXFR":
+		return dnsmsg.TypeAXFR, true
+	case "ANY":
+		return dnsmsg.TypeANY, true
+	}
+	return 0, false
+}

@@ -1,0 +1,28 @@
+// Package depscope reproduces "Analyzing Third Party Service Dependencies
+// in Modern Web Services: Have We Learned from the Mirai-Dyn Incident?"
+// (Kashaf, Sekar, Agarwal — ACM IMC 2020) as a self-contained Go system.
+//
+// The repository root holds the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation, each driving
+// the same experiment runner the depscope CLI uses. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Layout:
+//
+//	internal/dnsmsg       DNS wire protocol (RFC 1035)
+//	internal/dnszone      authoritative zone store
+//	internal/dnsserver    UDP/TCP authoritative server
+//	internal/resolver     caching stub resolver (wire + in-process)
+//	internal/publicsuffix eTLD+1 extraction
+//	internal/certs        certificate model + live TLS fetch
+//	internal/webpage      landing pages + resource-host extraction
+//	internal/ecosystem    calibrated synthetic-Internet generator
+//	internal/measure      the paper's §3 measurement pipeline
+//	internal/core         dependency graph, concentration/impact metrics
+//	internal/analysis     experiment runners (one per table/figure)
+//	internal/casestudy    hospitals and smart-home studies (§6)
+//	cmd/depscope          full-report CLI
+//	cmd/depserver         serve a generated world over real DNS
+//	cmd/digsim            dig-style query tool
+//	examples/             runnable API walkthroughs
+package depscope

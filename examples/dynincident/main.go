@@ -1,0 +1,81 @@
+// Dynincident: replay the October 2016 Mirai-Dyn outage (§2) against the
+// 2016 snapshot. The incident took down Dyn's authoritative DNS; every site
+// critically using Dyn went dark, and — the paper's key point — so did the
+// customers of CDNs like Fastly that themselves ran on Dyn.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"depscope/internal/analysis"
+	"depscope/internal/core"
+	"depscope/internal/ecosystem"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+	run, err := analysis.Execute(ctx, analysis.Options{
+		Scale:     8000,
+		Seed:      2016,
+		Snapshots: []ecosystem.Snapshot{ecosystem.Y2016},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := run.Y2016.Graph
+	const dyn = "dynect.net"
+
+	fmt.Println("=== October 21, 2016: Dyn goes down ===")
+	direct := g.ImpactSet(dyn, core.DirectOnly())
+	full := g.ImpactSet(dyn, core.AllIndirect())
+	fmt.Printf("sites dark via their own Dyn dependency:  %d\n", len(direct))
+	fmt.Printf("sites dark including provider chains:     %d\n", len(full))
+
+	// Who are the intermediaries? Providers critically running on Dyn.
+	fmt.Println("\nproviders that fell with Dyn:")
+	for name, p := range g.Providers {
+		for svc, d := range p.Deps {
+			if !d.Class.Critical() {
+				continue
+			}
+			for _, dep := range d.Providers {
+				if dep == dyn {
+					fmt.Printf("  %-24s (%s of %d sites)\n", name, svc,
+						g.Concentration(name, core.DirectOnly()))
+				}
+			}
+		}
+	}
+
+	// Collateral victims: dark only because of the chain.
+	collateral := 0
+	var sample []string
+	for site := range full {
+		if !direct[site] {
+			collateral++
+			if len(sample) < 5 {
+				sample = append(sample, site)
+			}
+		}
+	}
+	fmt.Printf("\ncollateral victims (the Pinterest effect): %d sites, e.g. %v\n", collateral, sample)
+
+	// Sites that used Dyn but stayed up thanks to redundancy — the lesson
+	// the paper wants everyone to learn.
+	res := run.Y2016.Results
+	survived := 0
+	for i := range res.Sites {
+		sr := &res.Sites[i]
+		if sr.DNS.Class.Redundant() {
+			for _, p := range sr.DNS.Providers {
+				if p == dyn {
+					survived++
+				}
+			}
+		}
+	}
+	fmt.Printf("Dyn customers that stayed up (redundant DNS): %d\n", survived)
+}

@@ -1,0 +1,3 @@
+module depscope
+
+go 1.22

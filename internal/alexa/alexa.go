@@ -1,0 +1,107 @@
+// Package alexa reads and writes ranked website lists in the CSV format of
+// the Alexa top-sites snapshots the paper samples ("rank,domain" per line).
+// It lets the tooling operate on externally supplied lists — a saved Alexa
+// snapshot, a Tranco list, or an exported synthetic world.
+package alexa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"depscope/internal/publicsuffix"
+)
+
+// Entry is one ranked site.
+type Entry struct {
+	Rank   int
+	Domain string
+}
+
+// List is a ranked site list, ordered by rank.
+type List []Entry
+
+// Domains returns the domains in rank order.
+func (l List) Domains() []string {
+	out := make([]string, len(l))
+	for i, e := range l {
+		out[i] = e.Domain
+	}
+	return out
+}
+
+// Read parses a ranked list. Accepted line forms: "rank,domain" (Alexa/
+// Tranco CSV) and bare "domain" (rank is the line number). Blank lines and
+// #-comments are skipped. Entries are validated and returned sorted by
+// rank; duplicate ranks or domains are errors.
+func Read(r io.Reader) (List, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out List
+	seenRank := make(map[int]bool)
+	seenDomain := make(map[string]bool)
+	lineNo := 0
+	implicit := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var e Entry
+		if idx := strings.IndexByte(line, ','); idx >= 0 {
+			rank, err := strconv.Atoi(strings.TrimSpace(line[:idx]))
+			if err != nil {
+				return nil, fmt.Errorf("alexa: line %d: bad rank: %v", lineNo, err)
+			}
+			e = Entry{Rank: rank, Domain: strings.TrimSpace(line[idx+1:])}
+		} else {
+			implicit++
+			e = Entry{Rank: implicit, Domain: line}
+		}
+		e.Domain = publicsuffix.Normalize(e.Domain)
+		if e.Domain == "" || !strings.Contains(e.Domain, ".") {
+			return nil, fmt.Errorf("alexa: line %d: invalid domain %q", lineNo, e.Domain)
+		}
+		if e.Rank <= 0 {
+			return nil, fmt.Errorf("alexa: line %d: invalid rank %d", lineNo, e.Rank)
+		}
+		if seenRank[e.Rank] {
+			return nil, fmt.Errorf("alexa: line %d: duplicate rank %d", lineNo, e.Rank)
+		}
+		if seenDomain[e.Domain] {
+			return nil, fmt.Errorf("alexa: line %d: duplicate domain %s", lineNo, e.Domain)
+		}
+		seenRank[e.Rank] = true
+		seenDomain[e.Domain] = true
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out, nil
+}
+
+// Write emits the list as "rank,domain" CSV.
+func Write(w io.Writer, l List) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", e.Rank, e.Domain); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FromDomains builds a list with ranks 1..n from domains in order.
+func FromDomains(domains []string) List {
+	out := make(List, len(domains))
+	for i, d := range domains {
+		out[i] = Entry{Rank: i + 1, Domain: publicsuffix.Normalize(d)}
+	}
+	return out
+}

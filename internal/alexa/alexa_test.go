@@ -1,0 +1,78 @@
+package alexa
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVForm(t *testing.T) {
+	in := "# Alexa snapshot\n1,google.com\n2,Youtube.COM\n\n3,facebook.com\n"
+	l, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := List{{1, "google.com"}, {2, "youtube.com"}, {3, "facebook.com"}}
+	if !reflect.DeepEqual(l, want) {
+		t.Errorf("got %v", l)
+	}
+}
+
+func TestReadBareForm(t *testing.T) {
+	l, err := Read(strings.NewReader("a.com\nb.org\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 || l[0].Rank != 1 || l[1].Domain != "b.org" {
+		t.Errorf("got %v", l)
+	}
+}
+
+func TestReadSortsByRank(t *testing.T) {
+	l, err := Read(strings.NewReader("3,c.com\n1,a.com\n2,b.com\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[0].Domain != "a.com" || l[2].Domain != "c.com" {
+		t.Errorf("got %v", l)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad rank":       "x,a.com\n",
+		"zero rank":      "0,a.com\n",
+		"dup rank":       "1,a.com\n1,b.com\n",
+		"dup domain":     "1,a.com\n2,a.com\n",
+		"invalid domain": "1,nodots\n",
+		"empty domain":   "1,\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	l := FromDomains([]string{"x.com", "y.net", "z.org"})
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Errorf("round trip: %v vs %v", got, l)
+	}
+}
+
+func TestDomains(t *testing.T) {
+	l := FromDomains([]string{"a.com", "b.com"})
+	if !reflect.DeepEqual(l.Domains(), []string{"a.com", "b.com"}) {
+		t.Error("Domains mismatch")
+	}
+}

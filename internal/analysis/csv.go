@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"depscope/internal/core"
+)
+
+// CSV emitters produce plot-ready series for the figures, so the paper's
+// plots can be regenerated with any charting tool.
+
+// WriteBandCSV writes a Figure 2/3-style band series: one row per band with
+// the four dependency fractions.
+func WriteBandCSV(w io.Writer, bands [4]core.BandStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"band", "third_party", "critical", "multi_third", "private_plus_third"}); err != nil {
+		return err
+	}
+	for _, b := range bands {
+		if err := cw.Write([]string{
+			b.Label,
+			f(b.ThirdParty()), f(b.Critical()), f(b.MultiThird()), f(b.MixedFrac()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCACSV writes the Figure 4 series.
+func WriteCACSV(w io.Writer, rows [4]CABandRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"band", "https", "third_ca", "stapling"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Label, f(r.HTTPSFrac), f(r.ThirdCAFrac), f(r.StaplingFrac)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFCSV writes the Figure 6 curves: providers,coverage per snapshot,
+// long format with a year column.
+func WriteCDFCSV(w io.Writer, series [2]CDFSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"year", "providers", "coverage"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{s.Year, strconv.Itoa(p.Providers), f(p.Coverage)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAmplificationCSV writes a Figure 7/8/9 comparison.
+func WriteAmplificationCSV(w io.Writer, rows []AmplificationRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"provider", "c_direct", "c_indirect", "i_direct", "i_indirect"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Name,
+			f(r.DirectConcentration), f(r.IndirectConcentration),
+			f(r.DirectImpact), f(r.IndirectImpact),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigureCSV dispatches by figure name ("figure2", "figure3", ...,
+// "figure9"), the same identifiers the CLI uses.
+func WriteFigureCSV(w io.Writer, run *Run, figure string) error {
+	switch figure {
+	case "figure2":
+		return WriteBandCSV(w, Figure2(run))
+	case "figure3":
+		return WriteBandCSV(w, Figure3(run))
+	case "figure4":
+		return WriteCACSV(w, Figure4(run))
+	case "figure6-dns":
+		return WriteCDFCSV(w, Figure6(run, core.DNS))
+	case "figure6-cdn":
+		return WriteCDFCSV(w, Figure6(run, core.CDN))
+	case "figure6-ca":
+		return WriteCDFCSV(w, Figure6(run, core.CA))
+	case "figure7":
+		return WriteAmplificationCSV(w, Figure7(run, 5))
+	case "figure8":
+		return WriteAmplificationCSV(w, Figure8(run, 5))
+	case "figure9":
+		return WriteAmplificationCSV(w, Figure9(run, 5))
+	}
+	return fmt.Errorf("analysis: no CSV emitter for %q", figure)
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,190 @@
+// Package analysis orchestrates full experiment runs: it generates the
+// synthetic universe, materializes both snapshots, executes the measurement
+// pipeline, builds the dependency graphs, and exposes one runner per table
+// and figure of the paper's evaluation (see DESIGN.md §4 for the index).
+package analysis
+
+import (
+	"context"
+	"fmt"
+
+	"depscope/internal/core"
+	"depscope/internal/ecosystem"
+	"depscope/internal/measure"
+)
+
+// SnapshotData bundles everything derived for one snapshot.
+type SnapshotData struct {
+	Snapshot ecosystem.Snapshot
+	World    *ecosystem.World
+	Results  *measure.Results
+	Graph    *core.Graph
+}
+
+// Run is a complete two-snapshot experiment run.
+type Run struct {
+	Scale    int
+	Universe *ecosystem.Universe
+	Y2016    *SnapshotData
+	Y2020    *SnapshotData
+}
+
+// Options configures Execute.
+type Options struct {
+	// Scale is the ranked-list length (paper: 100000).
+	Scale int
+	// Seed drives the generator.
+	Seed int64
+	// Workers bounds measurement concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// ConcentrationThreshold overrides the §3.1 cutoff; 0 means 50.
+	ConcentrationThreshold int
+	// Snapshots limits the run; nil means both.
+	Snapshots []ecosystem.Snapshot
+	// Progress, when set, receives one line per phase (generation, per-
+	// snapshot materialization and measurement).
+	Progress func(format string, args ...any)
+}
+
+// Execute generates, materializes and measures both snapshots.
+func Execute(ctx context.Context, opts Options) (*Run, error) {
+	if opts.Scale <= 0 {
+		return nil, fmt.Errorf("analysis: scale must be positive")
+	}
+	u, err := ecosystem.Generate(ecosystem.Options{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{Scale: opts.Scale, Universe: u}
+	progress := opts.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	progress("generated universe: %d sites, %d providers", len(u.Sites), len(u.Providers))
+	snaps := opts.Snapshots
+	if snaps == nil {
+		snaps = []ecosystem.Snapshot{ecosystem.Y2016, ecosystem.Y2020}
+	}
+	// The snapshots are independent: measure them in parallel.
+	type outcome struct {
+		snap ecosystem.Snapshot
+		sd   *SnapshotData
+		err  error
+	}
+	results := make(chan outcome, len(snaps))
+	for _, snap := range snaps {
+		go func(snap ecosystem.Snapshot) {
+			sd, err := measureSnapshot(ctx, u, snap, opts)
+			if err == nil {
+				progress("measured %s: %d sites, %d distinct nameserver domains",
+					snap, len(sd.Results.Sites), len(sd.Results.NSConcentration))
+			}
+			results <- outcome{snap, sd, err}
+		}(snap)
+	}
+	for range snaps {
+		o := <-results
+		if o.err != nil {
+			return nil, fmt.Errorf("analysis: snapshot %s: %w", o.snap, o.err)
+		}
+		if o.snap == ecosystem.Y2016 {
+			run.Y2016 = o.sd
+		} else {
+			run.Y2020 = o.sd
+		}
+	}
+	return run, nil
+}
+
+func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.Snapshot, opts Options) (*SnapshotData, error) {
+	w := ecosystem.Materialize(u, snap)
+	res, err := measure.Run(ctx, w.Sites, measure.Config{
+		Resolver:               w.NewResolver(),
+		Certs:                  w.Certs,
+		Pages:                  w,
+		CDNMap:                 measure.CDNMap(w.CNAMEToCDN),
+		Workers:                opts.Workers,
+		ConcentrationThreshold: opts.ConcentrationThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotData{
+		Snapshot: snap,
+		World:    w,
+		Results:  res,
+		Graph:    BuildGraph(res),
+	}, nil
+}
+
+// BuildGraph converts measurement results into the core dependency graph.
+func BuildGraph(res *measure.Results) *core.Graph {
+	var sites []*core.Site
+	for i := range res.Sites {
+		sr := &res.Sites[i]
+		node := &core.Site{
+			Name: sr.Site,
+			Rank: sr.Rank,
+			Deps: make(map[core.Service]core.Dep),
+		}
+		node.Deps[core.DNS] = core.Dep{Class: sr.DNS.Class, Providers: sr.DNS.Providers}
+		if sr.CDN.UsesCDN {
+			node.Deps[core.CDN] = core.Dep{Class: sr.CDN.Class, Providers: sr.CDN.Third}
+		}
+		if sr.CA.HTTPS {
+			var caDep core.Dep
+			caDep.Class = sr.CA.Class
+			if sr.CA.Third {
+				caDep.Providers = []string{sr.CA.CAName}
+			}
+			node.Deps[core.CA] = caDep
+		}
+		// Private infrastructure with its own measured dependency structure.
+		for _, pc := range sr.CDN.PrivateCDNs {
+			if _, ok := res.CDNToDNS[pc]; ok {
+				if node.PrivateInfra == nil {
+					node.PrivateInfra = make(map[core.Service][]string)
+				}
+				node.PrivateInfra[core.CDN] = append(node.PrivateInfra[core.CDN], pc)
+			}
+		}
+		if sr.CA.HTTPS && !sr.CA.Third && sr.CA.CAName != "" {
+			if _, ok := res.CAToDNS[sr.CA.CAName]; ok {
+				if node.PrivateInfra == nil {
+					node.PrivateInfra = make(map[core.Service][]string)
+				}
+				node.PrivateInfra[core.CA] = append(node.PrivateInfra[core.CA], sr.CA.CAName)
+			}
+		}
+		sites = append(sites, node)
+	}
+
+	providerNodes := make(map[string]*core.Provider)
+	ensure := func(name string, svc core.Service) *core.Provider {
+		p, ok := providerNodes[name]
+		if !ok {
+			p = &core.Provider{Name: name, Service: svc, Deps: make(map[core.Service]core.Dep)}
+			providerNodes[name] = p
+		}
+		return p
+	}
+	for name, dep := range res.CDNToDNS {
+		p := ensure(name, core.CDN)
+		p.Deps[core.DNS] = core.Dep{Class: dep.Class, Providers: dep.Deps}
+	}
+	for name, dep := range res.CAToDNS {
+		p := ensure(name, core.CA)
+		p.Deps[core.DNS] = core.Dep{Class: dep.Class, Providers: dep.Deps}
+	}
+	for name, dep := range res.CAToCDN {
+		p := ensure(name, core.CA)
+		if dep.Class != core.ClassNone {
+			p.Deps[core.CDN] = core.Dep{Class: dep.Class, Providers: dep.Deps}
+		}
+	}
+	var providers []*core.Provider
+	for _, p := range providerNodes {
+		providers = append(providers, p)
+	}
+	return core.NewGraph(sites, providers)
+}

@@ -1,0 +1,98 @@
+package casestudy
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestHospitalsTable10(t *testing.T) {
+	rep, err := Hospitals(context.Background(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hospitals != 200 {
+		t.Fatalf("hospitals = %d", rep.Hospitals)
+	}
+	within := func(name string, got, want, tol int) {
+		t.Helper()
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %d, want %d ± %d", name, got, want, tol)
+		}
+	}
+	// Paper Table 10: DNS 102/92, CDN 32/32, CA 200/156.
+	within("DNS third", rep.DNSThird, 102, 8)
+	within("DNS critical", rep.DNSCritical, 92, 8)
+	within("CDN third", rep.CDNThird, 32, 4)
+	if rep.CDNCritical != rep.CDNThird {
+		t.Errorf("all hospital CDN users should be critical: %d vs %d", rep.CDNCritical, rep.CDNThird)
+	}
+	within("CA third", rep.CAThird, 200, 2)
+	within("CA critical", rep.CACritical, 156, 10)
+	if rep.StaplingFrac < 0.16 || rep.StaplingFrac > 0.28 {
+		t.Errorf("stapling = %.2f, want ~0.22", rep.StaplingFrac)
+	}
+	if rep.TopDNSProvider != "domaincontrol.com" {
+		t.Errorf("top DNS provider = %q, want domaincontrol.com (GoDaddy)", rep.TopDNSProvider)
+	}
+	if rep.TopCDNProvider != "Akamai" {
+		t.Errorf("top CDN = %q, want Akamai", rep.TopCDNProvider)
+	}
+	if rep.TopCDNShare < 0.05 || rep.TopCDNShare > 0.09 {
+		t.Errorf("Akamai share = %.2f, want ~0.07", rep.TopCDNShare)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "Table 10") || !strings.Contains(out, "Akamai") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+}
+
+func TestSmartHomeTable11(t *testing.T) {
+	rep, err := SmartHome(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 11: 23 companies; DNS 21 third (91.3%), 1 redundant,
+	// 8 critical (34.7%); cloud 15 third (65.2%), 0 redundant, 5 critical.
+	if rep.Companies != 23 {
+		t.Fatalf("companies = %d", rep.Companies)
+	}
+	if rep.DNSThird != 20 && rep.DNSThird != 21 {
+		t.Errorf("DNS third = %d, want ~21", rep.DNSThird)
+	}
+	if rep.DNSRedundant != 1 {
+		t.Errorf("DNS redundant = %d, want 1", rep.DNSRedundant)
+	}
+	if rep.DNSCritical != 8 {
+		t.Errorf("DNS critical = %d, want 8", rep.DNSCritical)
+	}
+	if rep.CloudThird != 15 {
+		t.Errorf("cloud third = %d, want 15", rep.CloudThird)
+	}
+	if rep.CloudCritical != 5 {
+		t.Errorf("cloud critical = %d, want 5", rep.CloudCritical)
+	}
+	if rep.AmazonCloud != 11 {
+		t.Errorf("Amazon cloud users = %d, want 11", rep.AmazonCloud)
+	}
+	if rep.AmazonDNS != 13 {
+		t.Errorf("Amazon DNS users = %d, want 13", rep.AmazonDNS)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "Table 11") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+}
+
+func TestSmartHomeCustomPopulation(t *testing.T) {
+	rep, err := SmartHome(context.Background(), []Company{
+		{Name: "A", Domain: "a.example", PrivateDNS: true, LocalFailover: true},
+		{Name: "B", Domain: "b.example", DNSProviders: []string{"awsdns.net"}, CloudProvider: "amazon"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Companies != 2 || rep.DNSThird != 1 || rep.DNSCritical != 1 || rep.CloudCritical != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+
+	"depscope/internal/core"
+)
+
+// ExampleGraph_Impact reconstructs the Mirai-Dyn incident chain of the
+// paper's §2: twitter used Dyn directly, pinterest fell through Fastly.
+func ExampleGraph_Impact() {
+	sites := []*core.Site{
+		{Name: "twitter.com", Rank: 1, Deps: map[core.Service]core.Dep{
+			core.DNS: {Class: core.ClassSingleThird, Providers: []string{"Dyn"}},
+		}},
+		{Name: "pinterest.com", Rank: 2, Deps: map[core.Service]core.Dep{
+			core.CDN: {Class: core.ClassSingleThird, Providers: []string{"Fastly"}},
+		}},
+		{Name: "spotify.com", Rank: 3, Deps: map[core.Service]core.Dep{
+			// Redundant: Dyn plus a private deployment.
+			core.DNS: {Class: core.ClassPrivatePlusThird, Providers: []string{"Dyn"}},
+		}},
+	}
+	providers := []*core.Provider{
+		{Name: "Fastly", Service: core.CDN, Deps: map[core.Service]core.Dep{
+			core.DNS: {Class: core.ClassSingleThird, Providers: []string{"Dyn"}},
+		}},
+	}
+	g := core.NewGraph(sites, providers)
+
+	fmt.Println("direct impact:    ", g.Impact("Dyn", core.DirectOnly()))
+	fmt.Println("transitive impact:", g.Impact("Dyn", core.AllIndirect()))
+	fmt.Println("concentration:    ", g.Concentration("Dyn", core.AllIndirect()))
+	// Output:
+	// direct impact:     1
+	// transitive impact: 2
+	// concentration:     3
+}
+
+// ExampleGraph_RobustnessOf computes the §8.3 defense metric for a site
+// with one safe and one critical service.
+func ExampleGraph_RobustnessOf() {
+	g := core.NewGraph([]*core.Site{
+		{Name: "shop.example", Rank: 1, Deps: map[core.Service]core.Dep{
+			core.DNS: {Class: core.ClassMultiThird, Providers: []string{"A", "B"}},
+			core.CDN: {Class: core.ClassSingleThird, Providers: []string{"C"}},
+		}},
+	}, nil)
+	r, _ := g.RobustnessOf("shop.example")
+	fmt.Printf("score %.1f, critical providers %v\n", r.Score, r.CriticalProviders)
+	// Output:
+	// score 0.5, critical providers [C]
+}

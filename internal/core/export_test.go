@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := paperGraph()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph dependencies",
+		`"twitter.com" [shape=box]`,
+		`"twitter.com" -> "Dyn"`,
+		`"Fastly" -> "Dyn"`,
+		`"Symantec" -> "Verisign DNS"`,
+		"style=solid",  // critical edges
+		"style=dashed", // redundant edges
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT not closed")
+	}
+}
+
+func TestWriteDOTMaxSites(t *testing.T) {
+	g := paperGraph()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "shape=box"); n != 1 {
+		t.Errorf("maxSites=1 rendered %d site boxes", n)
+	}
+}
+
+func TestRobustnessOf(t *testing.T) {
+	g := paperGraph()
+
+	// twitter: single service (DNS), critical on Dyn -> score 0.
+	r, err := g.RobustnessOf("twitter.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 0 {
+		t.Errorf("twitter score = %v", r.Score)
+	}
+	if len(r.CriticalProviders) != 1 || r.CriticalProviders[0] != "Dyn" {
+		t.Errorf("twitter critical providers = %v", r.CriticalProviders)
+	}
+	// Dyn's transitive impact is twitter+pinterest.
+	if r.SharedFate != 2 {
+		t.Errorf("twitter shared fate = %d, want 2", r.SharedFate)
+	}
+
+	// spotify: DNS redundant -> score 1, no critical providers.
+	r, err = g.RobustnessOf("spotify.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 1 || len(r.CriticalProviders) != 0 {
+		t.Errorf("spotify robustness = %+v", r)
+	}
+
+	// pinterest: DNS private (safe), CDN critical on Fastly which is
+	// critical on Dyn -> critical providers {Fastly, Dyn}, score 0.5.
+	r, err = g.RobustnessOf("pinterest.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 0.5 {
+		t.Errorf("pinterest score = %v", r.Score)
+	}
+	if len(r.CriticalProviders) != 2 {
+		t.Errorf("pinterest critical providers = %v", r.CriticalProviders)
+	}
+
+	// netflix: DNS redundant (safe), CA critical on Symantec -> Verisign.
+	r, err = g.RobustnessOf("netflix.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 0.5 {
+		t.Errorf("netflix score = %v", r.Score)
+	}
+	has := func(p string) bool {
+		for _, c := range r.CriticalProviders {
+			if c == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("Symantec") || !has("Verisign DNS") {
+		t.Errorf("netflix critical providers = %v", r.CriticalProviders)
+	}
+
+	if _, err := g.RobustnessOf("nonexistent.com"); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestRobustnessAll(t *testing.T) {
+	g := paperGraph()
+	d := g.RobustnessAll()
+	// twitter and academia score 0; pinterest and netflix 0.5; spotify 1.
+	if d.Zero != 2 || d.Low != 2 || d.Full != 1 || d.High != 0 {
+		t.Errorf("distribution = %+v", d)
+	}
+}

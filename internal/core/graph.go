@@ -1,0 +1,394 @@
+// Package core implements the paper's analytical contribution: the
+// dependency graph over websites and third-party providers, and the
+// actionable metrics of §2.2 — critical dependency, provider concentration
+// C_p and provider impact I_p, both computed transitively over inter-service
+// dependencies with the recursive set-union formulas (including the \{p}
+// exclusion that guards against cycles).
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Service is an infrastructure service type.
+type Service int
+
+// The services under study.
+const (
+	DNS Service = iota
+	CDN
+	CA
+)
+
+// Services lists all service types.
+var Services = []Service{DNS, CDN, CA}
+
+// String names the service.
+func (s Service) String() string {
+	switch s {
+	case DNS:
+		return "DNS"
+	case CDN:
+		return "CDN"
+	case CA:
+		return "CA"
+	}
+	return fmt.Sprintf("Service(%d)", int(s))
+}
+
+// DepClass is the measured dependency arrangement of an actor for one
+// service.
+type DepClass int
+
+// Dependency classes. Unknown marks actors the measurement could not
+// characterize; they are excluded from analysis (paper §3.1).
+const (
+	ClassNone DepClass = iota
+	ClassPrivate
+	ClassSingleThird
+	ClassMultiThird
+	ClassPrivatePlusThird
+	ClassUnknown
+)
+
+// String names the class.
+func (c DepClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassPrivate:
+		return "private"
+	case ClassSingleThird:
+		return "single-third"
+	case ClassMultiThird:
+		return "multi-third"
+	case ClassPrivatePlusThird:
+		return "private+third"
+	case ClassUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("DepClass(%d)", int(c))
+}
+
+// Critical reports whether the class is a critical dependency.
+func (c DepClass) Critical() bool { return c == ClassSingleThird }
+
+// UsesThird reports whether any third party is involved.
+func (c DepClass) UsesThird() bool {
+	return c == ClassSingleThird || c == ClassMultiThird || c == ClassPrivatePlusThird
+}
+
+// Redundant reports whether the actor is redundantly provisioned while
+// using third parties.
+func (c DepClass) Redundant() bool {
+	return c == ClassMultiThird || c == ClassPrivatePlusThird
+}
+
+// Dep is one actor's measured arrangement for one service.
+type Dep struct {
+	Class     DepClass
+	Providers []string
+}
+
+// Site is a website node.
+type Site struct {
+	Name string
+	Rank int
+	// Deps maps service → arrangement. A missing service means the site
+	// does not consume it (no HTTPS → no CA entry, no CDN use → no CDN
+	// entry); ClassUnknown means unmeasurable.
+	Deps map[Service]Dep
+	// PrivateInfra names provider nodes that are the site's own
+	// infrastructure (a private CDN or CA with its own domain). The site
+	// depends on them critically by construction, so their third-party
+	// dependencies are hidden dependencies of the site — the paper's
+	// twitter.com (private CDN on third-party DNS) and godaddy.com (private
+	// CA on third-party DNS) cases.
+	PrivateInfra map[Service][]string
+}
+
+// Provider is a provider node with its own (inter-service) dependencies.
+type Provider struct {
+	Name    string
+	Service Service
+	Deps    map[Service]Dep
+}
+
+// Graph is the full dependency graph of one snapshot.
+type Graph struct {
+	Sites     []*Site
+	Providers map[string]*Provider
+
+	siteIndex map[string]*Site
+	// usersOf[service][provider] caches direct site users.
+	usersOf map[Service]map[string][]*Site
+	// criticalUsersOf likewise for critical users only.
+	criticalUsersOf map[Service]map[string][]*Site
+	// providerUsersOf[provider] lists providers directly using it.
+	providerUsersOf map[string][]*Provider
+	// privateUsersOf[provider] lists sites owning that private
+	// infrastructure node (always a critical dependency).
+	privateUsersOf map[string][]*Site
+}
+
+// NewGraph builds a graph and its indexes.
+func NewGraph(sites []*Site, providers []*Provider) *Graph {
+	g := &Graph{
+		Sites:           sites,
+		Providers:       make(map[string]*Provider, len(providers)),
+		siteIndex:       make(map[string]*Site, len(sites)),
+		usersOf:         make(map[Service]map[string][]*Site),
+		criticalUsersOf: make(map[Service]map[string][]*Site),
+		providerUsersOf: make(map[string][]*Provider),
+		privateUsersOf:  make(map[string][]*Site),
+	}
+	for _, svc := range Services {
+		g.usersOf[svc] = make(map[string][]*Site)
+		g.criticalUsersOf[svc] = make(map[string][]*Site)
+	}
+	for _, p := range providers {
+		g.Providers[p.Name] = p
+	}
+	for _, s := range sites {
+		g.siteIndex[s.Name] = s
+		for svc, d := range s.Deps {
+			if !d.Class.UsesThird() {
+				continue
+			}
+			for _, pname := range d.Providers {
+				g.usersOf[svc][pname] = append(g.usersOf[svc][pname], s)
+				if d.Class.Critical() {
+					g.criticalUsersOf[svc][pname] = append(g.criticalUsersOf[svc][pname], s)
+				}
+			}
+		}
+		// A site is critically dependent on its own private infrastructure,
+		// so transitive impact flows through those provider nodes — but they
+		// are kept out of the public third-party indexes so concentration
+		// rankings and CDFs only see real third parties.
+		for _, infra := range s.PrivateInfra {
+			for _, pname := range infra {
+				g.privateUsersOf[pname] = append(g.privateUsersOf[pname], s)
+			}
+		}
+	}
+	for _, p := range providers {
+		for _, d := range p.Deps {
+			if !d.Class.UsesThird() {
+				continue
+			}
+			for _, dep := range d.Providers {
+				g.providerUsersOf[dep] = append(g.providerUsersOf[dep], p)
+			}
+		}
+	}
+	return g
+}
+
+// Site returns a site node by name, or nil.
+func (g *Graph) Site(name string) *Site { return g.siteIndex[name] }
+
+// TraversalOpts selects which inter-service edges participate in the
+// transitive concentration/impact computation. The zero value traverses
+// website edges only (direct dependencies).
+type TraversalOpts struct {
+	// ViaProviders enables traversing dependencies of providers of these
+	// service types (e.g. only CA for the Fig 7 CA→DNS analysis); nil means
+	// no provider edges.
+	ViaProviders []Service
+}
+
+// AllIndirect traverses every inter-service edge.
+func AllIndirect() TraversalOpts {
+	return TraversalOpts{ViaProviders: []Service{DNS, CDN, CA}}
+}
+
+// DirectOnly traverses no provider edges.
+func DirectOnly() TraversalOpts { return TraversalOpts{} }
+
+func (o TraversalOpts) allows(svc Service) bool {
+	for _, s := range o.ViaProviders {
+		if s == svc {
+			return true
+		}
+	}
+	return false
+}
+
+// ConcentrationSet returns the set of websites directly or indirectly
+// dependent on provider p (§2.2 C_p), traversing provider edges per opts.
+func (g *Graph) ConcentrationSet(p string, opts TraversalOpts) map[string]bool {
+	out := make(map[string]bool)
+	g.gather(p, opts, false, out, map[string]bool{p: true})
+	return out
+}
+
+// ImpactSet returns the set of websites critically dependent on p directly
+// or transitively (§2.2 I_p).
+func (g *Graph) ImpactSet(p string, opts TraversalOpts) map[string]bool {
+	out := make(map[string]bool)
+	g.gather(p, opts, true, out, map[string]bool{p: true})
+	return out
+}
+
+// gather unions D^p_w (or E^p_w) with the recursion over providers using p.
+// visited implements the \{p} exclusion of the formulas, generalized to the
+// whole recursion path so provider cycles terminate.
+func (g *Graph) gather(p string, opts TraversalOpts, critical bool, out map[string]bool, visited map[string]bool) {
+	users := g.usersOf
+	if critical {
+		users = g.criticalUsersOf
+	}
+	for _, svcUsers := range users {
+		for _, s := range svcUsers[p] {
+			out[s.Name] = true
+		}
+	}
+	for _, s := range g.privateUsersOf[p] {
+		out[s.Name] = true
+	}
+	for _, k := range g.providerUsersOf[p] {
+		if visited[k.Name] || !opts.allows(k.Service) {
+			continue
+		}
+		// Does k depend on p in the required (critical) way?
+		usesP := false
+		for _, d := range k.Deps {
+			if !d.Class.UsesThird() || (critical && !d.Class.Critical()) {
+				continue
+			}
+			for _, dep := range d.Providers {
+				if dep == p {
+					usesP = true
+				}
+			}
+		}
+		if !usesP {
+			continue
+		}
+		visited[k.Name] = true
+		g.gather(k.Name, opts, critical, out, visited)
+	}
+}
+
+// Concentration returns |C_p|.
+func (g *Graph) Concentration(p string, opts TraversalOpts) int {
+	return len(g.ConcentrationSet(p, opts))
+}
+
+// Impact returns |I_p|.
+func (g *Graph) Impact(p string, opts TraversalOpts) int {
+	return len(g.ImpactSet(p, opts))
+}
+
+// ProviderStat pairs a provider with its concentration and impact.
+type ProviderStat struct {
+	Name          string
+	Service       Service
+	Concentration int
+	Impact        int
+}
+
+// TopProviders ranks the providers of svc by the chosen metric under opts,
+// descending; n <= 0 returns all.
+func (g *Graph) TopProviders(svc Service, opts TraversalOpts, byImpact bool, n int) []ProviderStat {
+	var stats []ProviderStat
+	seen := make(map[string]bool)
+	collect := func(pname string) {
+		if seen[pname] {
+			return
+		}
+		seen[pname] = true
+		if p, ok := g.Providers[pname]; ok && p.Service != svc {
+			return
+		}
+		// Pure private-infrastructure nodes (a site's own CDN or PKI
+		// domain) are not third-party providers; keep them out of the
+		// ranking even though impact flows through them.
+		if len(g.privateUsersOf[pname]) > 0 && !g.hasPublicUsers(pname) {
+			return
+		}
+		stats = append(stats, ProviderStat{
+			Name:          pname,
+			Service:       svc,
+			Concentration: g.Concentration(pname, opts),
+			Impact:        g.Impact(pname, opts),
+		})
+	}
+	for pname := range g.usersOf[svc] {
+		collect(pname)
+	}
+	for pname, p := range g.Providers {
+		if p.Service == svc {
+			collect(pname)
+		}
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		a, b := stats[i], stats[j]
+		ka, kb := a.Concentration, b.Concentration
+		if byImpact {
+			ka, kb = a.Impact, b.Impact
+		}
+		if ka != kb {
+			return ka > kb
+		}
+		return a.Name < b.Name
+	})
+	if n > 0 && len(stats) > n {
+		stats = stats[:n]
+	}
+	return stats
+}
+
+// hasPublicUsers reports whether any site uses pname as a third party.
+func (g *Graph) hasPublicUsers(pname string) bool {
+	for _, svcUsers := range g.usersOf {
+		if len(svcUsers[pname]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CriticalDepsPerSite returns, for each site, the number of distinct
+// providers it critically depends on. With indirect true, a provider's own
+// critical dependencies are charged to the sites critically depending on it
+// (§8.1: 25% of sites have ≥3 critical dependencies vs 9.6% direct).
+func (g *Graph) CriticalDepsPerSite(indirect bool) map[string]int {
+	out := make(map[string]int, len(g.Sites))
+	for _, s := range g.Sites {
+		set := make(map[string]bool)
+		for _, d := range s.Deps {
+			if !d.Class.Critical() {
+				continue
+			}
+			for _, pname := range d.Providers {
+				g.expandCritical(pname, indirect, set, map[string]bool{})
+			}
+		}
+		out[s.Name] = len(set)
+	}
+	return out
+}
+
+func (g *Graph) expandCritical(p string, indirect bool, set, visited map[string]bool) {
+	if visited[p] {
+		return
+	}
+	visited[p] = true
+	set[p] = true
+	if !indirect {
+		return
+	}
+	if prov, ok := g.Providers[p]; ok {
+		for _, d := range prov.Deps {
+			if !d.Class.Critical() {
+				continue
+			}
+			for _, dep := range d.Providers {
+				g.expandCritical(dep, indirect, set, visited)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package dnsmsg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Encoding errors.
+var (
+	ErrNameTooLong  = errors.New("dnsmsg: domain name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnsmsg: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnsmsg: empty label in domain name")
+	ErrTooManyRRs   = errors.New("dnsmsg: section exceeds 65535 records")
+)
+
+// encoder serializes a message with RFC 1035 §4.1.4 name compression.
+type encoder struct {
+	buf []byte
+	// ptrs maps a fully-qualified lowercase name suffix to its offset in buf
+	// for compression-pointer reuse. Offsets beyond 0x3FFF cannot be encoded
+	// as pointers and are not stored.
+	ptrs map[string]int
+}
+
+// Pack serializes m into wire format.
+func (m *Message) Pack() ([]byte, error) {
+	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
+		len(m.Authority) > 0xFFFF || len(m.Additional) > 0xFFFF {
+		return nil, ErrTooManyRRs
+	}
+	e := &encoder{
+		buf:  make([]byte, 0, 512),
+		ptrs: make(map[string]int),
+	}
+	e.uint16(m.Header.ID)
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.OpCode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+	e.uint16(flags)
+	e.uint16(uint16(len(m.Questions)))
+	e.uint16(uint16(len(m.Answers)))
+	e.uint16(uint16(len(m.Authority)))
+	e.uint16(uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		if err := e.name(q.Name); err != nil {
+			return nil, err
+		}
+		e.uint16(uint16(q.Type))
+		e.uint16(uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			if err := e.record(&sec[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func (e *encoder) uint16(v uint16) {
+	e.buf = append(e.buf, byte(v>>8), byte(v))
+}
+
+func (e *encoder) uint32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// name writes a (possibly compressed) domain name.
+func (e *encoder) name(name string) error {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		e.buf = append(e.buf, 0)
+		return nil
+	}
+	if len(name) > 254 {
+		return ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		if labels[i] == "" {
+			return ErrEmptyLabel
+		}
+		if len(labels[i]) > 63 {
+			return ErrLabelTooLong
+		}
+		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+		if off, ok := e.ptrs[suffix]; ok {
+			e.uint16(uint16(off) | 0xC000)
+			return nil
+		}
+		if len(e.buf) <= 0x3FFF {
+			e.ptrs[suffix] = len(e.buf)
+		}
+		e.buf = append(e.buf, byte(len(labels[i])))
+		e.buf = append(e.buf, labels[i]...)
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+// nameNoCompress writes a name without emitting a compression pointer.
+// RDATA names inside SOA/NS/CNAME may legally be compressed, so this is
+// only used where a fixed length is required.
+func (e *encoder) record(r *Record) error {
+	if err := e.name(r.Name); err != nil {
+		return err
+	}
+	e.uint16(uint16(r.Type))
+	e.uint16(uint16(r.Class))
+	e.uint32(r.TTL)
+	// Reserve RDLENGTH and patch after writing RDATA.
+	lenOff := len(e.buf)
+	e.uint16(0)
+	start := len(e.buf)
+	if err := e.rdata(r); err != nil {
+		return err
+	}
+	rdlen := len(e.buf) - start
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("dnsmsg: RDATA of %s too long (%d bytes)", r.Name, rdlen)
+	}
+	e.buf[lenOff] = byte(rdlen >> 8)
+	e.buf[lenOff+1] = byte(rdlen)
+	return nil
+}
+
+func (e *encoder) rdata(r *Record) error {
+	switch r.Type {
+	case TypeA:
+		if len(r.IP) != 4 {
+			return fmt.Errorf("dnsmsg: A record %s needs a 4-byte address, got %d", r.Name, len(r.IP))
+		}
+		e.buf = append(e.buf, r.IP...)
+	case TypeAAAA:
+		if len(r.IP) != 16 {
+			return fmt.Errorf("dnsmsg: AAAA record %s needs a 16-byte address, got %d", r.Name, len(r.IP))
+		}
+		e.buf = append(e.buf, r.IP...)
+	case TypeNS, TypeCNAME, TypePTR:
+		return e.name(r.Target)
+	case TypeSOA:
+		if r.SOA == nil {
+			return fmt.Errorf("dnsmsg: SOA record %s has nil SOA data", r.Name)
+		}
+		if err := e.name(r.SOA.MName); err != nil {
+			return err
+		}
+		if err := e.name(r.SOA.RName); err != nil {
+			return err
+		}
+		e.uint32(r.SOA.Serial)
+		e.uint32(r.SOA.Refresh)
+		e.uint32(r.SOA.Retry)
+		e.uint32(r.SOA.Expire)
+		e.uint32(r.SOA.Minimum)
+	case TypeMX:
+		if r.MX == nil {
+			return fmt.Errorf("dnsmsg: MX record %s has nil MX data", r.Name)
+		}
+		e.uint16(r.MX.Preference)
+		return e.name(r.MX.Exchange)
+	case TypeTXT:
+		for _, s := range r.TXT {
+			for len(s) > 255 {
+				e.buf = append(e.buf, 255)
+				e.buf = append(e.buf, s[:255]...)
+				s = s[255:]
+			}
+			e.buf = append(e.buf, byte(len(s)))
+			e.buf = append(e.buf, s...)
+		}
+		if len(r.TXT) == 0 {
+			e.buf = append(e.buf, 0)
+		}
+	default:
+		e.buf = append(e.buf, r.Raw...)
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+// Package dnszone provides an authoritative DNS data store: zones holding
+// resource-record sets, with RFC 1034 lookup semantics (exact match, CNAME
+// indirection, wildcard synthesis, NODATA vs NXDOMAIN distinction).
+//
+// In this reproduction the store plays the role of "the authoritative DNS of
+// the Internet": the ecosystem generator emits one zone per registrable
+// domain (websites, DNS providers, CDNs, CA infrastructure) and the
+// measurement pipeline interrogates the store either over real UDP/TCP via
+// internal/dnsserver or in-process via resolver.ZoneDirect.
+package dnszone
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"depscope/internal/dnsmsg"
+)
+
+// Zone is a single zone of authority rooted at Origin.
+type Zone struct {
+	// Origin is the zone apex, canonical form ("example.com.").
+	Origin string
+	// SOA is the zone's start-of-authority record data.
+	SOA dnsmsg.SOAData
+
+	mu    sync.RWMutex
+	nodes map[string]map[dnsmsg.Type][]dnsmsg.Record
+}
+
+// NewZone creates a zone rooted at origin with the given SOA data. The SOA
+// record itself is installed at the apex.
+func NewZone(origin string, soa dnsmsg.SOAData) *Zone {
+	z := &Zone{
+		Origin: dnsmsg.CanonicalName(origin),
+		SOA:    soa,
+		nodes:  make(map[string]map[dnsmsg.Type][]dnsmsg.Record),
+	}
+	z.Add(dnsmsg.Record{
+		Name: z.Origin, Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassIN, TTL: 3600,
+		SOA: &soa,
+	})
+	return z
+}
+
+// Add installs a record in the zone. The record name must be at or below the
+// zone origin; out-of-bailiwick records are rejected.
+func (z *Zone) Add(r dnsmsg.Record) error {
+	name := dnsmsg.CanonicalName(r.Name)
+	if !InBailiwick(name, z.Origin) {
+		return fmt.Errorf("dnszone: %s is outside zone %s", name, z.Origin)
+	}
+	r.Name = name
+	if r.Class == 0 {
+		r.Class = dnsmsg.ClassIN
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	types := z.nodes[name]
+	if types == nil {
+		types = make(map[dnsmsg.Type][]dnsmsg.Record)
+		z.nodes[name] = types
+	}
+	types[r.Type] = append(types[r.Type], r)
+	return nil
+}
+
+// MustAdd is Add that panics on error, for generator code building zones
+// from trusted input.
+func (z *Zone) MustAdd(r dnsmsg.Record) {
+	if err := z.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// SOARecord returns the apex SOA as a record.
+func (z *Zone) SOARecord() dnsmsg.Record {
+	soa := z.SOA
+	return dnsmsg.Record{
+		Name: z.Origin, Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassIN, TTL: 3600,
+		SOA: &soa,
+	}
+}
+
+// lookupNode returns the record set of the node for qname, synthesizing from
+// a wildcard ("*.origin") when the exact node is absent. The second result
+// reports whether the name exists at all (for NXDOMAIN vs NODATA).
+func (z *Zone) lookupNode(qname string) (map[dnsmsg.Type][]dnsmsg.Record, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	if types, ok := z.nodes[qname]; ok {
+		return types, true
+	}
+	// Wildcard synthesis: replace the leftmost label(s) with "*" walking up.
+	labels := strings.Split(strings.TrimSuffix(qname, "."), ".")
+	for i := 1; i < len(labels); i++ {
+		cand := "*." + strings.Join(labels[i:], ".") + "."
+		if !InBailiwick(cand, z.Origin) {
+			break
+		}
+		if types, ok := z.nodes[cand]; ok {
+			// Synthesize records at qname.
+			out := make(map[dnsmsg.Type][]dnsmsg.Record, len(types))
+			for t, rs := range types {
+				rs2 := make([]dnsmsg.Record, len(rs))
+				for j, r := range rs {
+					r.Name = qname
+					rs2[j] = r
+				}
+				out[t] = rs2
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// AllRecords returns every record of the zone in transfer order: the apex
+// SOA first, then all other records sorted by owner name and type (the
+// payload of an AXFR zone transfer, RFC 5936).
+func (z *Zone) AllRecords() []dnsmsg.Record {
+	out := []dnsmsg.Record{z.SOARecord()}
+	for _, name := range z.Names() {
+		node, _ := z.lookupNode(name)
+		types := make([]dnsmsg.Type, 0, len(node))
+		for t := range node {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			for _, r := range node[t] {
+				if r.Type == dnsmsg.TypeSOA {
+					continue
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// Names returns all node names in the zone, sorted, mainly for tests and
+// zone dumps.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	names := make([]string, 0, len(z.nodes))
+	for n := range z.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InBailiwick reports whether name is at or below origin (both canonical).
+func InBailiwick(name, origin string) bool {
+	if origin == "." {
+		return true
+	}
+	return name == origin || strings.HasSuffix(name, "."+origin)
+}
+
+// Result is the outcome of an authoritative lookup.
+type Result struct {
+	RCode     dnsmsg.RCode
+	Answers   []dnsmsg.Record
+	Authority []dnsmsg.Record
+	// Zone is the zone of authority that produced the result; nil when no
+	// zone matched (RCode Refused).
+	Zone *Zone
+}
+
+// Store is a collection of zones keyed by origin, with closest-enclosing-
+// zone dispatch: the store acts as the single authoritative source for the
+// whole simulated Internet.
+type Store struct {
+	mu    sync.RWMutex
+	zones map[string]*Zone
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{zones: make(map[string]*Zone)}
+}
+
+// AddZone installs (or replaces) a zone.
+func (s *Store) AddZone(z *Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin] = z
+}
+
+// Zone returns the zone with exactly the given origin, or nil.
+func (s *Store) Zone(origin string) *Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.zones[dnsmsg.CanonicalName(origin)]
+}
+
+// FindZone returns the closest enclosing zone of authority for qname, or nil.
+func (s *Store) FindZone(qname string) *Zone {
+	qname = dnsmsg.CanonicalName(qname)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name := qname; ; {
+		if z, ok := s.zones[name]; ok {
+			return z
+		}
+		idx := strings.IndexByte(name, '.')
+		if idx < 0 || idx == len(name)-1 {
+			if z, ok := s.zones["."]; ok {
+				return z
+			}
+			return nil
+		}
+		name = name[idx+1:]
+	}
+}
+
+// ZoneCount returns the number of zones in the store.
+func (s *Store) ZoneCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.zones)
+}
+
+// maxCNAMEChase bounds in-store CNAME chains to defend against loops.
+const maxCNAMEChase = 16
+
+// Lookup answers (qname, qtype) with RFC 1034 semantics:
+//
+//   - If no zone encloses qname: REFUSED.
+//   - If the node doesn't exist: NXDOMAIN with the zone SOA in authority.
+//   - If the node exists without the type: NODATA (NOERROR, SOA authority).
+//   - CNAME at the node (and qtype != CNAME/ANY): the CNAME is returned and
+//     chased across zones within the store as a real recursive resolver
+//     would, appending any in-store answers.
+func (s *Store) Lookup(qname string, qtype dnsmsg.Type) Result {
+	qname = dnsmsg.CanonicalName(qname)
+	res := Result{}
+	seen := 0
+	name := qname
+	for {
+		z := s.FindZone(name)
+		if z == nil {
+			if len(res.Answers) > 0 {
+				// CNAME chased out of all authority: return what we have.
+				res.RCode = dnsmsg.RCodeSuccess
+				return res
+			}
+			return Result{RCode: dnsmsg.RCodeRefused}
+		}
+		res.Zone = z
+		node, exists := z.lookupNode(name)
+		if !exists {
+			if len(res.Answers) > 0 {
+				res.RCode = dnsmsg.RCodeSuccess
+				res.Authority = append(res.Authority, z.SOARecord())
+				return res
+			}
+			return Result{
+				RCode:     dnsmsg.RCodeNameError,
+				Authority: []dnsmsg.Record{z.SOARecord()},
+				Zone:      z,
+			}
+		}
+		if qtype == dnsmsg.TypeANY {
+			for _, rs := range node {
+				res.Answers = append(res.Answers, rs...)
+			}
+			sortRecords(res.Answers)
+			res.RCode = dnsmsg.RCodeSuccess
+			return res
+		}
+		if rs, ok := node[qtype]; ok && len(rs) > 0 {
+			res.Answers = append(res.Answers, rs...)
+			res.RCode = dnsmsg.RCodeSuccess
+			return res
+		}
+		if cn, ok := node[dnsmsg.TypeCNAME]; ok && len(cn) > 0 && qtype != dnsmsg.TypeCNAME {
+			res.Answers = append(res.Answers, cn[0])
+			seen++
+			if seen > maxCNAMEChase {
+				res.RCode = dnsmsg.RCodeServerFailure
+				return res
+			}
+			name = dnsmsg.CanonicalName(cn[0].Target)
+			continue
+		}
+		// NODATA.
+		res.RCode = dnsmsg.RCodeSuccess
+		res.Authority = append(res.Authority, z.SOARecord())
+		return res
+	}
+}
+
+// HandleQuery produces a complete response message for the first question of
+// query, suitable for a server to send back.
+func (s *Store) HandleQuery(query *dnsmsg.Message) *dnsmsg.Message {
+	resp := query.Reply()
+	resp.Header.Authoritative = true
+	if query.Header.OpCode != dnsmsg.OpCodeQuery || len(query.Questions) != 1 {
+		resp.Header.RCode = dnsmsg.RCodeNotImplemented
+		return resp
+	}
+	q := query.Questions[0]
+	if q.Class != dnsmsg.ClassIN && q.Class != dnsmsg.ClassANY {
+		resp.Header.RCode = dnsmsg.RCodeRefused
+		return resp
+	}
+	r := s.Lookup(q.Name, q.Type)
+	resp.Header.RCode = r.RCode
+	resp.Answers = r.Answers
+	resp.Authority = r.Authority
+	return resp
+}
+
+func sortRecords(rs []dnsmsg.Record) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Name != rs[j].Name {
+			return rs[i].Name < rs[j].Name
+		}
+		if rs[i].Type != rs[j].Type {
+			return rs[i].Type < rs[j].Type
+		}
+		return rs[i].Target < rs[j].Target
+	})
+}

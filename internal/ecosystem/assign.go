@@ -1,0 +1,293 @@
+package ecosystem
+
+// Snapshot assignment: assignSnapshot draws a snapshot's ground truth from
+// the calibration tables; deriveSnapshot2016 back-derives the 2016 state of
+// shared sites from their 2020 state via the Table 3/4/5 transition rates,
+// so the evolution experiments reproduce the paper's deltas by construction
+// of the world, not of the analysis.
+
+// soaTrapProviders are the providers large enough that the concentration
+// rule (>= 50 customers) resolves SOA-equal sites; only their customers get
+// the TrapSOAEqual configuration.
+var soaTrapProviders = map[string]bool{
+	"Cloudflare": true, "AWS DNS": true, "GoDaddy": true,
+}
+
+// privateCAAliasFrac is the fraction of private-CA sites whose CA lives on
+// a brand-alias pki domain (the pki.goog case defeating TLD-only matching).
+const privateCAAliasFrac = 0.15
+
+// assignSnapshot draws ground truth for every site existing in snap.
+func (g *generator) assignSnapshot(snap Snapshot) {
+	list := g.u.List(snap)
+	bands := bandSites(list, g.scale)
+	for b := 0; b < NumBands; b++ {
+		var sites []*Site
+		for _, s := range bands[b] {
+			if s.Snap[snap].Exists {
+				sites = append(sites, s)
+			}
+		}
+		g.assignCABand(snap, b, sites)
+		g.assignDNSBand(snap, b, sites)
+		g.assignCDNBand(snap, b, sites)
+	}
+}
+
+// orderHTTPSFirst stably reorders sites so HTTPS ones come first.
+func orderHTTPSFirst(sites []*Site, snap Snapshot) []*Site {
+	out := make([]*Site, 0, len(sites))
+	var plain []*Site
+	for _, s := range sites {
+		if s.Snap[snap].HTTPS {
+			out = append(out, s)
+		} else {
+			plain = append(plain, s)
+		}
+	}
+	return append(out, plain...)
+}
+
+// shuffled returns a new shuffled copy of sites.
+func (g *generator) shuffled(sites []*Site) []*Site {
+	out := append([]*Site(nil), sites...)
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func (g *generator) assignDNSBand(snap Snapshot, band int, sites []*Site) {
+	cal := g.cal.DNS[snap]
+	order := g.shuffled(sites)
+	n := len(order)
+	nUnchar := round(float64(n) * cal.UncharacterizedFrac)
+	for i := 0; i < nUnchar && i < n; i++ {
+		ss := &order[i].Snap[snap]
+		ss.DNSMode = DepSingleThird
+		ss.DNSTrap = TrapUnknown
+		ss.DNSProviders = []string{g.trapDNSProviders[g.trapIdx%len(g.trapDNSProviders)]}
+		g.trapIdx++
+	}
+	rest := order[minInt(nUnchar, n):]
+	m := len(rest)
+	mix := cal.Mix[band]
+	nPriv := round(float64(m) * mix.Private)
+	nSingle := round(float64(m) * mix.Single)
+	nMulti := round(float64(m) * mix.Multi)
+	// Mixed takes the remainder so the counts always sum to m.
+	cut1, cut2, cut3 := minInt(nPriv, m), minInt(nPriv+nSingle, m), minInt(nPriv+nSingle+nMulti, m)
+
+	// Vanity-NS traps are only classifiable through the SAN list, so they
+	// go to HTTPS sites (as the real-world instances are).
+	privSites := orderHTTPSFirst(rest[:cut1], snap)
+	nVanity := round(float64(cut1) * cal.VanityNSFrac)
+	for i, s := range privSites {
+		ss := &s.Snap[snap]
+		ss.DNSMode = DepPrivate
+		ss.DNSProviders = nil
+		if i < nVanity && ss.HTTPS {
+			ss.DNSTrap = TrapVanityNS
+		} else {
+			ss.DNSTrap = TrapNone
+		}
+	}
+
+	singles := rest[cut1:cut2]
+	impact := g.withTail(cal.ImpactShares, SvcDNS, cal.TailShare, snap)
+	names := g.apportion(impact, len(singles))
+	for i, s := range singles {
+		ss := &s.Snap[snap]
+		ss.DNSMode = DepSingleThird
+		ss.DNSProviders = []string{names[i]}
+		ss.DNSTrap = TrapNone
+		if soaTrapProviders[names[i]] && g.rng.Float64() < cal.SOAEqualFrac {
+			ss.DNSTrap = TrapSOAEqual
+		}
+	}
+
+	multis := rest[cut2:cut3]
+	redShares := cal.RedundantShares
+	if band == 0 && len(cal.Band0Redundant) > 0 {
+		redShares = cal.Band0Redundant
+	}
+	prim := g.apportion(redShares, len(multis))
+	for i, s := range multis {
+		ss := &s.Snap[snap]
+		ss.DNSTrap = TrapNone
+		if g.rng.Float64() < cal.AliasRedundantFrac {
+			// Looks like two providers, is actually one entity under two
+			// nameserver domains: ground truth is critical.
+			ss.DNSMode = DepSingleThird
+			ss.DNSProviders = []string{"Alibaba DNS"}
+			ss.DNSTrap = TrapAliasRedundant
+			continue
+		}
+		second := g.pickOther(redShares, prim[i])
+		ss.DNSMode = DepMultiThird
+		ss.DNSProviders = []string{prim[i], second}
+	}
+
+	mixedSites := rest[cut3:]
+	mnames := g.apportion(redShares, len(mixedSites))
+	for i, s := range mixedSites {
+		ss := &s.Snap[snap]
+		ss.DNSMode = DepPrivatePlusThird
+		ss.DNSProviders = []string{mnames[i]}
+		ss.DNSTrap = TrapNone
+	}
+}
+
+// pickOther draws a provider from shares different from exclude.
+func (g *generator) pickOther(shares []Share, exclude string) string {
+	total := 0.0
+	for _, s := range shares {
+		if s.Provider != exclude {
+			total += s.Weight
+		}
+	}
+	if total <= 0 {
+		return exclude
+	}
+	x := g.rng.Float64() * total
+	for _, s := range shares {
+		if s.Provider == exclude {
+			continue
+		}
+		x -= s.Weight
+		if x <= 0 {
+			return s.Provider
+		}
+	}
+	return shares[len(shares)-1].Provider
+}
+
+func (g *generator) assignCDNBand(snap Snapshot, band int, sites []*Site) {
+	cal := g.cal.CDN[snap]
+	order := g.shuffled(sites)
+	n := len(order)
+	nUsers := round(float64(n) * cal.UseFrac[band])
+	users := order[:minInt(nUsers, n)]
+	// Alias-based private CDNs are only discoverable through the SAN list,
+	// so the private cohort (taken from the front) must be HTTPS sites.
+	httpsFirst := make([]*Site, 0, len(users))
+	var plain []*Site
+	for _, s := range users {
+		if s.Snap[snap].HTTPS {
+			httpsFirst = append(httpsFirst, s)
+		} else {
+			plain = append(plain, s)
+		}
+	}
+	users = append(httpsFirst, plain...)
+	for _, s := range order[minInt(nUsers, n):] {
+		ss := &s.Snap[snap]
+		ss.CDNMode = DepNone
+		ss.CDNProviders = nil
+		ss.PrivateCDN = false
+		ss.CDNTrap = TrapNone
+	}
+	if len(users) == 0 {
+		return
+	}
+	nPrivate := round(float64(len(users)) * cal.PrivateOnlyFrac)
+	nForeign := minInt(nPrivate, round(float64(n)*cal.PrivateCDNThirdDNSFrac))
+	for i, s := range users[:minInt(nPrivate, len(users))] {
+		ss := &s.Snap[snap]
+		ss.CDNMode = DepPrivate
+		ss.PrivateCDN = true
+		ss.CDNProviders = nil
+		switch {
+		case i < nForeign:
+			ss.CDNTrap = TrapPrivateCDNForeignSOA
+		case float64(i-nForeign) < float64(nPrivate-nForeign)*cal.PrivateAliasFrac:
+			ss.CDNTrap = TrapPrivateCDNAlias
+		default:
+			ss.CDNTrap = TrapNone
+		}
+	}
+	thirdUsers := users[minInt(nPrivate, len(users)):]
+	nCritical := round(float64(len(users)) * cal.CriticalFrac[band])
+	if nCritical > len(thirdUsers) {
+		nCritical = len(thirdUsers)
+	}
+	shares := cal.Shares
+	if band == 0 && len(cal.Band0Shares) > 0 {
+		shares = cal.Band0Shares
+	}
+	shares = g.withTail(shares, SvcCDN, cal.TailShare, snap)
+	names := g.apportion(shares, len(thirdUsers))
+	for i, s := range thirdUsers {
+		ss := &s.Snap[snap]
+		ss.PrivateCDN = false
+		ss.CDNTrap = TrapNone
+		if i < nCritical {
+			ss.CDNMode = DepSingleThird
+			ss.CDNProviders = []string{names[i]}
+		} else {
+			ss.CDNMode = DepMultiThird
+			ss.CDNProviders = []string{names[i], g.pickOther(shares, names[i])}
+		}
+	}
+}
+
+func (g *generator) assignCABand(snap Snapshot, band int, sites []*Site) {
+	cal := g.cal.CA[snap]
+	order := g.shuffled(sites)
+	n := len(order)
+	nHTTPS := round(float64(n) * cal.HTTPSFrac[band])
+	https := order[:minInt(nHTTPS, n)]
+	for _, s := range order[minInt(nHTTPS, n):] {
+		ss := &s.Snap[snap]
+		ss.HTTPS = false
+		ss.CA = ""
+		ss.PrivateCA = false
+		ss.Stapled = false
+	}
+	if len(https) == 0 {
+		return
+	}
+	nPrivate := round(float64(len(https)) * cal.PrivateCAFrac[band])
+	nThirdCDN := minInt(nPrivate, round(float64(n)*cal.PrivateCAThirdCDNFrac))
+	nThirdDNS := minInt(nPrivate-nThirdCDN, round(float64(n)*cal.PrivateCAThirdDNSFrac))
+	for i, s := range https[:minInt(nPrivate, len(https))] {
+		ss := &s.Snap[snap]
+		ss.HTTPS = true
+		ss.PrivateCA = true
+		ss.CA = ""
+		ss.PrivateCAThirdCDN = i < nThirdCDN
+		ss.PrivateCAThirdDNS = i >= nThirdCDN && i < nThirdCDN+nThirdDNS
+		ss.PrivateCAAlias = ss.PrivateCAThirdCDN || ss.PrivateCAThirdDNS ||
+			g.rng.Float64() < privateCAAliasFrac
+		ss.Stapled = g.rng.Float64() < cal.PrivateStapleRate
+	}
+	thirdSites := https[minInt(nPrivate, len(https)):]
+	shares := g.withTail(cal.Shares, SvcCA, cal.TailShare, snap)
+	names := g.apportion(shares, len(thirdSites))
+	for i, s := range thirdSites {
+		ss := &s.Snap[snap]
+		ss.HTTPS = true
+		ss.PrivateCA = false
+		ss.PrivateCAAlias = false
+		ss.PrivateCAThirdCDN = false
+		ss.PrivateCAThirdDNS = false
+		ss.CA = names[i]
+		rate, ok := cal.StapleRate[names[i]]
+		if !ok {
+			rate = cal.DefaultStapleRate
+		}
+		ss.Stapled = g.rng.Float64() < rate
+	}
+}
+
+func round(f float64) int {
+	if f < 0 {
+		return 0
+	}
+	return int(f + 0.5)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,376 @@
+package ecosystem
+
+// deriveSnapshot2016 produces the 2016 ground truth. Sites that only exist
+// in 2016 (dead by 2020) are drawn fresh from the 2016 calibration; sites on
+// both lists are back-derived from their 2020 state using the transition
+// rates of Tables 3–5, so the evolution analysis re-measures exactly those
+// deltas.
+func (g *generator) deriveSnapshot2016() {
+	list16 := g.u.List(Y2016)
+
+	// Fresh assignment for 2016-only sites, band by band.
+	bands := bandSites(list16, g.scale)
+	for b := 0; b < NumBands; b++ {
+		var dead []*Site
+		for _, s := range bands[b] {
+			if s.Rank2020 == 0 {
+				dead = append(dead, s)
+			}
+		}
+		g.assignCABand(Y2016, b, dead)
+		g.assignDNSBand(Y2016, b, dead)
+		g.assignCDNBand(Y2016, b, dead)
+	}
+
+	// Shared sites: backward transitions per band.
+	for b := 0; b < NumBands; b++ {
+		var shared []*Site
+		for _, s := range bands[b] {
+			if s.Rank2020 > 0 {
+				shared = append(shared, s)
+			}
+		}
+		g.deriveCA2016(b, shared)
+		g.deriveDNS2016(b, shared)
+		g.deriveCDN2016(b, shared)
+	}
+}
+
+// take removes and returns up to n sites from *pool.
+func take(pool *[]*Site, n int) []*Site {
+	if n > len(*pool) {
+		n = len(*pool)
+	}
+	out := (*pool)[:n]
+	*pool = (*pool)[n:]
+	return out
+}
+
+func (g *generator) deriveDNS2016(band int, shared []*Site) {
+	tr := &g.cal.Trans
+	cal16 := g.cal.DNS[Y2016]
+
+	// Partition by 2020 mode (characterized only; traps persist verbatim).
+	var priv, single, multi, mixed []*Site
+	for _, s := range shared {
+		ss20 := s.Snap[Y2020]
+		if ss20.DNSTrap == TrapUnknown {
+			s.Snap[Y2016].DNSMode = ss20.DNSMode
+			s.Snap[Y2016].DNSProviders = append([]string(nil), ss20.DNSProviders...)
+			s.Snap[Y2016].DNSTrap = TrapUnknown
+			continue
+		}
+		switch ss20.DNSMode {
+		case DepPrivate:
+			priv = append(priv, s)
+		case DepSingleThird:
+			single = append(single, s)
+		case DepMultiThird:
+			multi = append(multi, s)
+		case DepPrivatePlusThird:
+			mixed = append(mixed, s)
+		}
+	}
+	nChar := len(priv) + len(single) + len(multi) + len(mixed)
+	priv, single, multi, mixed = g.shuffled(priv), g.shuffled(single), g.shuffled(multi), g.shuffled(mixed)
+
+	impact16 := g.withTail(cal16.ImpactShares, SvcDNS, cal16.TailShare, Y2016)
+	red16 := cal16.RedundantShares
+	if band == 0 && len(cal16.Band0Redundant) > 0 {
+		red16 = cal16.Band0Redundant
+	}
+	setSingle16 := func(sites []*Site) {
+		names := g.apportion(impact16, len(sites))
+		for i, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.DNSMode = DepSingleThird
+			ss.DNSProviders = []string{names[i]}
+			ss.DNSTrap = TrapNone
+			if soaTrapProviders[names[i]] && g.rng.Float64() < cal16.SOAEqualFrac {
+				ss.DNSTrap = TrapSOAEqual
+			}
+		}
+	}
+	setPrivate16 := func(sites []*Site) {
+		for _, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.DNSMode = DepPrivate
+			ss.DNSProviders = nil
+			ss.DNSTrap = TrapNone
+			if ss.HTTPS && g.rng.Float64() < cal16.VanityNSFrac {
+				ss.DNSTrap = TrapVanityNS
+			}
+		}
+	}
+	setMulti16 := func(sites []*Site) {
+		prim := g.apportion(red16, len(sites))
+		for i, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.DNSTrap = TrapNone
+			if g.rng.Float64() < cal16.AliasRedundantFrac {
+				ss.DNSMode = DepSingleThird
+				ss.DNSProviders = []string{"Alibaba DNS"}
+				ss.DNSTrap = TrapAliasRedundant
+				continue
+			}
+			ss.DNSMode = DepMultiThird
+			ss.DNSProviders = []string{prim[i], g.pickOther(red16, prim[i])}
+		}
+	}
+	setMixed16 := func(sites []*Site) {
+		names := g.apportion(red16, len(sites))
+		for i, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.DNSMode = DepPrivatePlusThird
+			ss.DNSProviders = []string{names[i]}
+			ss.DNSTrap = TrapNone
+		}
+	}
+
+	// Table 3, backwards. "Pvt to Single 3rd" means private in 2016 and a
+	// single third party in 2020, so those sites come from the 2020-single
+	// pool, and so on.
+	setPrivate16(take(&single, round(float64(nChar)*tr.DNSPvtToSingle[band])))
+	setSingle16(take(&priv, round(float64(nChar)*tr.DNSSingleToPvt[band])))
+	setMulti16(take(&single, round(float64(nChar)*tr.DNSRedToNoRed[band])))
+	redundant2020 := append(append([]*Site(nil), multi...), mixed...)
+	g.rng.Shuffle(len(redundant2020), func(i, j int) {
+		redundant2020[i], redundant2020[j] = redundant2020[j], redundant2020[i]
+	})
+	moved := take(&redundant2020, round(float64(nChar)*tr.DNSNoRedToRed[band]))
+	setSingle16(moved)
+	movedSet := make(map[*Site]bool, len(moved))
+	for _, s := range moved {
+		movedSet[s] = true
+	}
+
+	// Everyone else keeps their 2020 mode, with providers re-drawn from the
+	// 2016 market (the provider landscape shifted even where modes didn't).
+	setPrivate16(priv)
+	setSingle16(single)
+	var keepMulti, keepMixed []*Site
+	for _, s := range multi {
+		if !movedSet[s] {
+			keepMulti = append(keepMulti, s)
+		}
+	}
+	for _, s := range mixed {
+		if !movedSet[s] {
+			keepMixed = append(keepMixed, s)
+		}
+	}
+	setMulti16(keepMulti)
+	setMixed16(keepMixed)
+}
+
+func (g *generator) deriveCDN2016(band int, shared []*Site) {
+	tr := &g.cal.Trans
+	cal16 := g.cal.CDN[Y2016]
+
+	var users20, nonusers20 []*Site
+	for _, s := range shared {
+		if s.Snap[Y2020].CDNMode != DepNone {
+			users20 = append(users20, s)
+		} else {
+			nonusers20 = append(nonusers20, s)
+		}
+	}
+	n := len(shared)
+	users20, nonusers20 = g.shuffled(users20), g.shuffled(nonusers20)
+
+	shares16 := cal16.Shares
+	if band == 0 && len(cal16.Band0Shares) > 0 {
+		shares16 = cal16.Band0Shares
+	}
+	shares16 = g.withTail(shares16, SvcCDN, cal16.TailShare, Y2016)
+
+	setNone16 := func(sites []*Site) {
+		for _, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.CDNMode = DepNone
+			ss.CDNProviders = nil
+			ss.PrivateCDN = false
+			ss.CDNTrap = TrapNone
+		}
+	}
+	setSingle16 := func(sites []*Site) {
+		names := g.apportion(shares16, len(sites))
+		for i, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.CDNMode = DepSingleThird
+			ss.CDNProviders = []string{names[i]}
+			ss.PrivateCDN = false
+			ss.CDNTrap = TrapNone
+		}
+	}
+	setMulti16 := func(sites []*Site) {
+		names := g.apportion(shares16, len(sites))
+		for i, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.CDNMode = DepMultiThird
+			ss.CDNProviders = []string{names[i], g.pickOther(shares16, names[i])}
+			ss.PrivateCDN = false
+			ss.CDNTrap = TrapNone
+		}
+	}
+	setPrivate16 := func(sites []*Site) {
+		// Alias traps require SAN evidence, hence HTTPS-in-2016 sites.
+		ordered := make([]*Site, 0, len(sites))
+		var plain []*Site
+		for _, s := range sites {
+			if s.Snap[Y2016].HTTPS {
+				ordered = append(ordered, s)
+			} else {
+				plain = append(plain, s)
+			}
+		}
+		nAlias := round(float64(len(sites)) * (cal16.ForeignSOAFrac + cal16.PrivateAliasFrac))
+		nAlias = minInt(nAlias, len(ordered))
+		ordered = append(ordered, plain...)
+		for i, s := range ordered {
+			ss := &s.Snap[Y2016]
+			ss.CDNMode = DepPrivate
+			ss.PrivateCDN = true
+			ss.CDNProviders = nil
+			switch {
+			case i < nAlias && float64(i) < float64(len(sites))*cal16.ForeignSOAFrac:
+				ss.CDNTrap = TrapPrivateCDNForeignSOA
+			case i < nAlias:
+				ss.CDNTrap = TrapPrivateCDNAlias
+			default:
+				ss.CDNTrap = TrapNone
+			}
+		}
+	}
+
+	// Sites that started using a CDN after 2016 come from the 2020 users;
+	// sites that stopped come from the 2020 non-users and get a fresh 2016
+	// arrangement.
+	setNone16(take(&users20, round(float64(n)*tr.CDNStart)))
+	stopped := take(&nonusers20, round(float64(n)*tr.CDNStop))
+	nStopPriv := round(float64(len(stopped)) * cal16.PrivateOnlyFrac)
+	setPrivate16(stopped[:minInt(nStopPriv, len(stopped))])
+	remaining := stopped[minInt(nStopPriv, len(stopped)):]
+	nStopCrit := round(float64(len(stopped)) * cal16.CriticalFrac[band])
+	setSingle16(remaining[:minInt(nStopCrit, len(remaining))])
+	setMulti16(remaining[minInt(nStopCrit, len(remaining)):])
+	setNone16(nonusers20)
+
+	// Both-years users: Table 4 transitions.
+	var priv20, single20, multi20 []*Site
+	for _, s := range users20 {
+		switch s.Snap[Y2020].CDNMode {
+		case DepPrivate:
+			priv20 = append(priv20, s)
+		case DepSingleThird:
+			single20 = append(single20, s)
+		default:
+			multi20 = append(multi20, s)
+		}
+	}
+	setPrivate16(take(&single20, round(float64(n)*tr.CDNPvtToSingle[band])))
+	setMulti16(take(&single20, round(float64(n)*tr.CDNRedToNoRed[band])))
+	setSingle16(take(&multi20, round(float64(n)*tr.CDNNoRedToRed[band])))
+	setPrivate16(priv20)
+	setSingle16(single20)
+	setMulti16(multi20)
+}
+
+func (g *generator) deriveCA2016(band int, shared []*Site) {
+	tr := &g.cal.Trans
+	cal16 := g.cal.CA[Y2016]
+
+	var https20, plain20 []*Site
+	for _, s := range shared {
+		if s.Snap[Y2020].HTTPS {
+			https20 = append(https20, s)
+		} else {
+			plain20 = append(plain20, s)
+		}
+	}
+	n := len(shared)
+	setNoHTTPS16 := func(sites []*Site) {
+		for _, s := range sites {
+			ss := &s.Snap[Y2016]
+			ss.HTTPS = false
+			ss.CA = ""
+			ss.PrivateCA = false
+			ss.Stapled = false
+			ss.PrivateCAAlias = false
+			ss.PrivateCAThirdCDN = false
+			ss.PrivateCAThirdDNS = false
+		}
+	}
+	setNoHTTPS16(plain20)
+
+	// HTTPS adopters: prefer 2020 sites without stapling so the adopter
+	// cohort staples at the paper's 11.9% rate.
+	var stapled, unstapled []*Site
+	for _, s := range g.shuffled(https20) {
+		if s.Snap[Y2020].Stapled {
+			stapled = append(stapled, s)
+		} else {
+			unstapled = append(unstapled, s)
+		}
+	}
+	nAdopt := round(float64(n) * tr.HTTPSAdoptFrac)
+	nAdoptStapled := minInt(len(stapled), round(float64(nAdopt)*tr.NewHTTPSStapleFrac))
+	adopters := make([]*Site, 0, nAdopt)
+	adopters = append(adopters, take(&stapled, nAdoptStapled)...)
+	adopters = append(adopters, take(&unstapled, nAdopt-nAdoptStapled)...)
+	setNoHTTPS16(adopters)
+
+	// Sites HTTPS in both years: re-draw the 2016 CA market, then apply the
+	// Table 5 stapling transitions.
+	both := make([]*Site, 0, len(stapled)+len(unstapled))
+	both = append(both, stapled...)
+	both = append(both, unstapled...)
+	shares16 := g.withTail(cal16.Shares, SvcCA, cal16.TailShare, Y2016)
+	var thirds []*Site
+	for _, s := range both {
+		ss20 := s.Snap[Y2020]
+		ss := &s.Snap[Y2016]
+		ss.HTTPS = true
+		ss.Stapled = ss20.Stapled
+		if ss20.PrivateCA {
+			ss.PrivateCA = true
+			ss.PrivateCAAlias = ss20.PrivateCAAlias
+			// Table 8 / §5.2: private-CA hidden dependencies existed in 2016
+			// too (scaled via the 2016 calibration fractions).
+			ss.PrivateCAThirdCDN = ss20.PrivateCAThirdCDN
+			ss.PrivateCAThirdDNS = ss20.PrivateCAThirdDNS
+			ss.CA = ""
+		} else {
+			ss.PrivateCA = false
+			thirds = append(thirds, s)
+		}
+	}
+	names := g.apportion(shares16, len(thirds))
+	for i, s := range thirds {
+		s.Snap[Y2016].CA = names[i]
+	}
+
+	// Stapling transitions (denominator: sites HTTPS in both snapshots).
+	var st20, un20 []*Site
+	for _, s := range both {
+		if s.Snap[Y2020].Stapled {
+			st20 = append(st20, s)
+		} else {
+			un20 = append(un20, s)
+		}
+	}
+	st20, un20 = g.shuffled(st20), g.shuffled(un20)
+	nBoth := len(both)
+	for _, s := range take(&st20, round(float64(nBoth)*tr.CANoToStaple[band])) {
+		s.Snap[Y2016].Stapled = false
+	}
+	for _, s := range take(&un20, round(float64(nBoth)*tr.CAStapleToNo[band])) {
+		s.Snap[Y2016].Stapled = true
+	}
+	for _, s := range st20 {
+		s.Snap[Y2016].Stapled = true
+	}
+	for _, s := range un20 {
+		s.Snap[Y2016].Stapled = false
+	}
+}

@@ -1,0 +1,177 @@
+package ecosystem
+
+import (
+	"testing"
+)
+
+// These tests guard the calibration tables themselves: every provider a
+// share table references must exist as a provider of the right service in
+// the right snapshot, and the inter-service dependency lists must point at
+// existing DNS/CDN providers. A typo in calibration.go or providers.go
+// would otherwise surface as a confusing panic deep inside materialization.
+
+func calProviders(t *testing.T) (*Calibration, *Universe) {
+	t.Helper()
+	u, err := Generate(Options{Scale: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DefaultCalibration(), u
+}
+
+func checkShares(t *testing.T, u *Universe, shares []Share, svc Service, snap Snapshot, table string) {
+	t.Helper()
+	for _, s := range shares {
+		p := u.Provider(s.Provider)
+		if p == nil {
+			t.Errorf("%s: provider %q does not exist", table, s.Provider)
+			continue
+		}
+		if p.Service != svc {
+			t.Errorf("%s: provider %q is %v, want %v", table, s.Provider, p.Service, svc)
+		}
+		exists := p.Exists2020
+		if snap == Y2016 {
+			exists = p.Exists2016
+		}
+		if !exists {
+			t.Errorf("%s: provider %q does not exist in %s", table, s.Provider, snap)
+		}
+		if s.Weight <= 0 {
+			t.Errorf("%s: provider %q has non-positive weight", table, s.Provider)
+		}
+	}
+}
+
+func TestCalibrationSharesReferenceRealProviders(t *testing.T) {
+	cal, u := calProviders(t)
+	for _, snap := range []Snapshot{Y2016, Y2020} {
+		dns := cal.DNS[snap]
+		checkShares(t, u, dns.ImpactShares, SvcDNS, snap, "DNS impact "+snap.String())
+		checkShares(t, u, dns.RedundantShares, SvcDNS, snap, "DNS redundant "+snap.String())
+		checkShares(t, u, dns.Band0Redundant, SvcDNS, snap, "DNS band0 "+snap.String())
+		cdn := cal.CDN[snap]
+		checkShares(t, u, cdn.Shares, SvcCDN, snap, "CDN shares "+snap.String())
+		checkShares(t, u, cdn.Band0Shares, SvcCDN, snap, "CDN band0 "+snap.String())
+		ca := cal.CA[snap]
+		checkShares(t, u, ca.Shares, SvcCA, snap, "CA shares "+snap.String())
+		for name := range ca.StapleRate {
+			if u.Provider(name) == nil {
+				t.Errorf("CA staple rate references unknown provider %q", name)
+			}
+		}
+	}
+}
+
+func TestProviderDepsReferenceRealProviders(t *testing.T) {
+	_, u := calProviders(t)
+	for name, p := range u.Providers {
+		for snap, dep := range p.DNSDeps {
+			for _, d := range dep.Third {
+				dp := u.Provider(d)
+				if dp == nil || dp.Service != SvcDNS {
+					t.Errorf("%s: DNS dep %q invalid", name, d)
+					continue
+				}
+				if (snap == Y2016 && p.Exists2016 && !dp.Exists2016) ||
+					(snap == Y2020 && p.Exists2020 && !dp.Exists2020) {
+					t.Errorf("%s: DNS dep %q absent in %s", name, d, snap)
+				}
+			}
+		}
+		for snap, dep := range p.CDNDeps {
+			for _, d := range dep.Third {
+				dp := u.Provider(d)
+				if dp == nil || dp.Service != SvcCDN {
+					t.Errorf("%s: CDN dep %q invalid", name, d)
+					continue
+				}
+				if (snap == Y2016 && p.Exists2016 && !dp.Exists2016) ||
+					(snap == Y2020 && p.Exists2020 && !dp.Exists2020) {
+					t.Errorf("%s: CDN dep %q absent in %s", name, d, snap)
+				}
+			}
+		}
+	}
+}
+
+func TestModeMixesSumToOne(t *testing.T) {
+	cal := DefaultCalibration()
+	for _, snap := range []Snapshot{Y2016, Y2020} {
+		for b, mix := range cal.DNS[snap].Mix {
+			sum := mix.Private + mix.Single + mix.Multi + mix.Mixed
+			if sum < 0.99 || sum > 1.01 {
+				t.Errorf("DNS mix %s band %d sums to %.3f", snap, b, sum)
+			}
+		}
+	}
+}
+
+func TestSiteSnapshotsConsistent(t *testing.T) {
+	_, u := calProviders(t)
+	for _, snap := range []Snapshot{Y2016, Y2020} {
+		for _, s := range u.List(snap) {
+			ss := s.Snap[snap]
+			if !ss.Exists {
+				continue
+			}
+			switch ss.DNSMode {
+			case DepPrivate:
+				if len(ss.DNSProviders) != 0 {
+					t.Fatalf("%s %s: private with providers %v", s.Domain, snap, ss.DNSProviders)
+				}
+			case DepSingleThird, DepPrivatePlusThird:
+				if len(ss.DNSProviders) != 1 {
+					t.Fatalf("%s %s: %v with providers %v", s.Domain, snap, ss.DNSMode, ss.DNSProviders)
+				}
+			case DepMultiThird:
+				if len(ss.DNSProviders) != 2 || ss.DNSProviders[0] == ss.DNSProviders[1] {
+					t.Fatalf("%s %s: multi with providers %v", s.Domain, snap, ss.DNSProviders)
+				}
+			default:
+				t.Fatalf("%s %s: DNS mode %v", s.Domain, snap, ss.DNSMode)
+			}
+			if ss.CDNMode == DepSingleThird && len(ss.CDNProviders) != 1 {
+				t.Fatalf("%s %s: CDN single with %v", s.Domain, snap, ss.CDNProviders)
+			}
+			if ss.CDNMode == DepMultiThird && len(ss.CDNProviders) != 2 {
+				t.Fatalf("%s %s: CDN multi with %v", s.Domain, snap, ss.CDNProviders)
+			}
+			if ss.PrivateCDN && ss.CDNMode != DepPrivate {
+				t.Fatalf("%s %s: private CDN flag with mode %v", s.Domain, snap, ss.CDNMode)
+			}
+			if ss.HTTPS && !ss.PrivateCA && ss.CA == "" {
+				t.Fatalf("%s %s: HTTPS third-party site without CA", s.Domain, snap)
+			}
+			if !ss.HTTPS && (ss.CA != "" || ss.Stapled) {
+				t.Fatalf("%s %s: CA fields without HTTPS", s.Domain, snap)
+			}
+			// Alias-based traps require SAN evidence, hence HTTPS.
+			if (ss.CDNTrap == TrapPrivateCDNAlias || ss.CDNTrap == TrapPrivateCDNForeignSOA ||
+				ss.DNSTrap == TrapVanityNS) && !ss.HTTPS {
+				t.Fatalf("%s %s: alias trap on non-HTTPS site", s.Domain, snap)
+			}
+		}
+	}
+}
+
+func TestTrapProvidersStayBelowThreshold(t *testing.T) {
+	u, err := Generate(Options{Scale: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, snap := range []Snapshot{Y2016, Y2020} {
+		counts := make(map[string]int)
+		for _, s := range u.List(snap) {
+			ss := s.Snap[snap]
+			if ss.Exists && ss.DNSTrap == TrapUnknown {
+				counts[ss.DNSProviders[0]]++
+			}
+		}
+		for p, n := range counts {
+			if n >= 50 {
+				t.Errorf("%s: trap provider %s serves %d sites (>= concentration threshold)", snap, p, n)
+			}
+		}
+	}
+}

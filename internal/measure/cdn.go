@@ -1,0 +1,124 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"depscope/internal/core"
+	"depscope/internal/publicsuffix"
+	"depscope/internal/resolver"
+)
+
+// classifySiteCDN applies §3.3: the landing page is reduced to resource
+// hosts; hosts belonging to the site (TLD, SAN or SOA evidence) are its
+// internal resources; their CNAME chains are matched against the CNAME→CDN
+// map; each (site, CDN) pair is then classified private or third-party.
+func (m *measurer) classifySiteCDN(ctx context.Context, site string) (SiteCDN, error) {
+	out := SiteCDN{}
+	if m.cfg.Pages == nil {
+		out.Class = core.ClassNone
+		return out, nil
+	}
+	page := m.cfg.Pages.Page(site)
+	if page == nil {
+		out.Class = core.ClassNone
+		return out, nil
+	}
+
+	siteRD := publicsuffix.RegistrableDomain(site)
+	cert := m.getCert(site)
+	var sanRDs map[string]bool
+	if cert != nil {
+		sanRDs = cert.SANRegistrableDomains()
+	}
+	siteSOA, haveSiteSOA, err := m.cfg.Resolver.SOA(ctx, site)
+	if err != nil {
+		return out, err
+	}
+
+	// Identify internal resources.
+	for _, host := range page.Hosts() {
+		hostRD := publicsuffix.RegistrableDomain(host)
+		internal := hostRD != "" && hostRD == siteRD
+		if !internal && cert != nil && (sanRDs[hostRD] || cert.MatchesSAN(host)) {
+			internal = true
+		}
+		if !internal && haveSiteSOA {
+			// SOA evidence: the host's authority shares the site's master.
+			hostSOA, haveHostSOA, err := m.softSOA(ctx, host)
+			if err != nil {
+				return out, err
+			}
+			if haveHostSOA && soaEqual(siteSOA, hostSOA) {
+				internal = true
+			}
+		}
+		if internal {
+			out.InternalHosts = append(out.InternalHosts, host)
+		}
+	}
+
+	// Detect CDNs on internal-resource CNAME chains.
+	type evidence struct{ cname string }
+	found := make(map[string]evidence)
+	for _, host := range out.InternalHosts {
+		chain, err := m.cfg.Resolver.CNAMEChain(ctx, host)
+		if err != nil && !errors.Is(err, resolver.ErrServFail) {
+			return out, err
+		}
+		for _, name := range chain {
+			if cdn, _, ok := m.cfg.CDNMap.Match(name); ok {
+				if _, seen := found[cdn]; !seen {
+					found[cdn] = evidence{cname: publicsuffix.Normalize(name)}
+				}
+			}
+		}
+	}
+	if len(found) == 0 {
+		out.Class = core.ClassNone
+		return out, nil
+	}
+	out.UsesCDN = true
+
+	// Classify each (site, CDN) pair by its matched CNAME.
+	for cdn, ev := range found {
+		cnameRD := publicsuffix.RegistrableDomain(ev.cname)
+		var cls Classification
+		switch {
+		case cnameRD != "" && cnameRD == siteRD:
+			cls = Private
+		case sanRDs[cnameRD]:
+			cls = Private
+		default:
+			cnSOA, haveCNSOA, err := m.softSOA(ctx, ev.cname)
+			if err != nil {
+				return out, err
+			}
+			if haveSiteSOA && haveCNSOA && !soaEqual(siteSOA, cnSOA) {
+				cls = Third
+			}
+		}
+		if cls == Third {
+			out.Third = append(out.Third, cdn)
+		} else {
+			// Unknown pairs default to private, consistent with the paper's
+			// conservative treatment of unclassifiable CDN pairs.
+			out.PrivateCDNs = append(out.PrivateCDNs, cdn)
+		}
+	}
+	sort.Strings(out.Third)
+	sort.Strings(out.PrivateCDNs)
+
+	switch {
+	case len(out.Third) == 0:
+		out.Class = core.ClassPrivate
+	case len(out.Third) == 1 && len(out.PrivateCDNs) == 0:
+		out.Class = core.ClassSingleThird
+	case len(out.Third) == 1:
+		out.Class = core.ClassPrivatePlusThird
+	default:
+		out.Class = core.ClassMultiThird
+	}
+	return out, nil
+}

@@ -1,0 +1,354 @@
+// Package measure implements the paper's §3 measurement methodology: the
+// combined classification heuristics for third-party DNS providers, CAs and
+// CDNs (TLD matching + SAN lists + SOA comparison + provider concentration),
+// redundancy detection via entity grouping, OCSP-stapling observation, and
+// the inter-service dependency measurements (CDN→DNS, CA→DNS, CA→CDN).
+//
+// The pipeline consumes only what a real measurement sees: DNS responses via
+// a resolver, served certificates, landing pages, and a CNAME-suffix→CDN
+// map. It never touches generator ground truth; validation against planted
+// labels lives in the test suite, mirroring the paper's manually verified
+// 100-site samples.
+package measure
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"depscope/internal/certs"
+	"depscope/internal/core"
+	"depscope/internal/publicsuffix"
+	"depscope/internal/resolver"
+	"depscope/internal/webpage"
+)
+
+// CertSource provides the certificate served by a host, nil when the host
+// does not speak HTTPS.
+type CertSource interface {
+	Get(host string) *certs.Certificate
+}
+
+// PageSource provides landing pages.
+type PageSource interface {
+	Page(site string) *webpage.Page
+}
+
+// CDNMap maps CNAME suffixes to CDN display names (§3.3's self-populated
+// map).
+type CDNMap map[string]string
+
+// Match returns the CDN whose suffix covers name (longest suffix wins).
+func (m CDNMap) Match(name string) (cdn, suffix string, ok bool) {
+	name = publicsuffix.Normalize(name)
+	best := ""
+	for s, c := range m {
+		if name == s || strings.HasSuffix(name, "."+s) {
+			if len(s) > len(best) {
+				best, cdn = s, c
+			}
+		}
+	}
+	return cdn, best, best != ""
+}
+
+// Config parameterizes a measurement run.
+type Config struct {
+	// Resolver answers DNS questions.
+	Resolver *resolver.Resolver
+	// Certs provides served certificates.
+	Certs CertSource
+	// Pages provides landing pages.
+	Pages PageSource
+	// CDNMap is the CNAME→CDN map.
+	CDNMap CDNMap
+	// ConcentrationThreshold is the §3.1 concentration cutoff; zero means 50.
+	ConcentrationThreshold int
+	// Workers bounds concurrency; zero means GOMAXPROCS.
+	Workers int
+	// SkipUnresolvable makes sites whose NS lookup fails outright come back
+	// as uncharacterized instead of failing the run — live measurements over
+	// real resolvers hit plenty of dead domains.
+	SkipUnresolvable bool
+	// DisableSAN / DisableSOA / DisableConcentration switch individual rules
+	// of the combined DNS heuristic off, for the ablation experiments that
+	// quantify each rule's contribution.
+	DisableSAN, DisableSOA, DisableConcentration bool
+}
+
+// Classification is a per-pair verdict.
+type Classification int
+
+// Per-pair verdicts.
+const (
+	Unknown Classification = iota
+	Private
+	Third
+)
+
+// String names the classification.
+func (c Classification) String() string {
+	switch c {
+	case Private:
+		return "private"
+	case Third:
+		return "third-party"
+	}
+	return "unknown"
+}
+
+// NSPair is one (site, nameserver) classification with its evidence, kept
+// for the validation experiments.
+type NSPair struct {
+	Host     string
+	Class    Classification
+	Evidence string // which rule fired: "tld", "san", "soa", "concentration"
+	Entity   string // same-entity key used for redundancy grouping
+}
+
+// SiteDNS is the DNS measurement of one website.
+type SiteDNS struct {
+	Class core.DepClass
+	// Providers are the measured third-party provider identities
+	// (registrable domains of the nameserver entities).
+	Providers []string
+	Pairs     []NSPair
+}
+
+// SiteCA is the certificate measurement of one website.
+type SiteCA struct {
+	HTTPS   bool
+	Class   core.DepClass // ClassNone when no HTTPS
+	CAName  string        // measured CA identity (issuer org registrable domain)
+	Third   bool
+	Stapled bool
+	// RevocationHosts are the OCSP/CDP hosts seen in the certificate.
+	RevocationHosts []string
+}
+
+// SiteCDN is the CDN measurement of one website.
+type SiteCDN struct {
+	UsesCDN bool
+	Class   core.DepClass // ClassNone when no CDN observed
+	// Third lists third-party CDN names; PrivateCDNs lists private ones.
+	Third       []string
+	PrivateCDNs []string
+	// InternalHosts are the page hosts attributed to the site itself.
+	InternalHosts []string
+}
+
+// SiteResult bundles one site's measurements.
+type SiteResult struct {
+	Site string
+	Rank int
+	DNS  SiteDNS
+	CA   SiteCA
+	CDN  SiteCDN
+}
+
+// Results is a full measurement run.
+type Results struct {
+	Sites []SiteResult
+	// NSConcentration maps nameserver registrable domain → number of sites
+	// observed using it (the §3.1 concentration signal).
+	NSConcentration map[string]int
+	// PairStats accounts for the (website, nameserver) pairs, as the paper
+	// reports them ("155,151 distinct pairs... 13.5% uncharacterized").
+	PairStats PairStats
+	// EvidenceCounts tallies which rule classified each pair ("tld", "san",
+	// "soa", "concentration") — a diagnostic for the heuristic's anatomy.
+	EvidenceCounts map[string]int
+	// Inter-service measurements, keyed by provider identity.
+	CDNToDNS map[string]ProviderDep
+	CAToDNS  map[string]ProviderDep
+	CAToCDN  map[string]ProviderDep
+}
+
+// PairStats summarizes (website, nameserver) pair classification.
+type PairStats struct {
+	Total           int
+	Private         int
+	Third           int
+	Uncharacterized int
+}
+
+// UncharacterizedFrac is the fraction of pairs no heuristic classified.
+func (p PairStats) UncharacterizedFrac() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Uncharacterized) / float64(p.Total)
+}
+
+// ProviderDep is a measured provider→provider arrangement.
+type ProviderDep struct {
+	Provider string
+	Service  core.Service // the depended-upon service
+	Class    core.DepClass
+	// Deps are the measured upstream provider identities.
+	Deps []string
+}
+
+// Run executes the full pipeline over the ranked site list.
+func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("measure: Config.Resolver is required")
+	}
+	if cfg.ConcentrationThreshold == 0 {
+		cfg.ConcentrationThreshold = 50
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	m := &measurer{cfg: cfg}
+
+	// Pass 1: NS sets for every site (needed for the concentration signal).
+	nsSets, err := m.collectNS(ctx, sites)
+	if err != nil {
+		return nil, err
+	}
+	conc := concentration(nsSets)
+
+	res := &Results{
+		NSConcentration: conc,
+		CDNToDNS:        make(map[string]ProviderDep),
+		CAToDNS:         make(map[string]ProviderDep),
+		CAToCDN:         make(map[string]ProviderDep),
+	}
+
+	// Pass 2: per-site classification.
+	res.Sites = make([]SiteResult, len(sites))
+	err = m.forEach(ctx, len(sites), func(ctx context.Context, i int) error {
+		site := sites[i]
+		sr := SiteResult{Site: site, Rank: i + 1}
+		var err error
+		sr.DNS, err = m.classifySiteDNS(ctx, site, nsSets[i], conc)
+		if err != nil {
+			return fmt.Errorf("site %s dns: %w", site, err)
+		}
+		sr.CA, err = m.classifySiteCA(ctx, site)
+		if err != nil {
+			return fmt.Errorf("site %s ca: %w", site, err)
+		}
+		sr.CDN, err = m.classifySiteCDN(ctx, site)
+		if err != nil {
+			return fmt.Errorf("site %s cdn: %w", site, err)
+		}
+		res.Sites[i] = sr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pair accounting over distinct (site, nameserver) pairs.
+	res.EvidenceCounts = make(map[string]int)
+	for i := range res.Sites {
+		for _, pair := range res.Sites[i].DNS.Pairs {
+			res.PairStats.Total++
+			switch pair.Class {
+			case Private:
+				res.PairStats.Private++
+			case Third:
+				res.PairStats.Third++
+			default:
+				res.PairStats.Uncharacterized++
+			}
+			if pair.Evidence != "" {
+				res.EvidenceCounts[pair.Evidence]++
+			}
+		}
+	}
+
+	// Pass 3: inter-service dependencies over the discovered providers.
+	if err := m.interService(ctx, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+type measurer struct {
+	cfg Config
+}
+
+// forEach runs fn(i) for i in [0,n) over the worker pool, failing fast.
+func (m *measurer) forEach(ctx context.Context, n int, fn func(context.Context, int) error) error {
+	workers := m.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		errs []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= n || len(errs) > 0 {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// collectNS performs the NS pass.
+func (m *measurer) collectNS(ctx context.Context, sites []string) ([][]string, error) {
+	out := make([][]string, len(sites))
+	err := m.forEach(ctx, len(sites), func(ctx context.Context, i int) error {
+		ns, err := m.cfg.Resolver.NS(ctx, sites[i])
+		if err != nil {
+			if m.cfg.SkipUnresolvable {
+				out[i] = nil
+				return nil
+			}
+			return fmt.Errorf("NS(%s): %w", sites[i], err)
+		}
+		sort.Strings(ns)
+		out[i] = ns
+		return nil
+	})
+	return out, err
+}
+
+// concentration counts, per nameserver registrable domain, the number of
+// sites with at least one nameserver there.
+func concentration(nsSets [][]string) map[string]int {
+	out := make(map[string]int)
+	for _, set := range nsSets {
+		seen := make(map[string]bool, len(set))
+		for _, ns := range set {
+			if rd := publicsuffix.RegistrableDomain(ns); rd != "" && !seen[rd] {
+				seen[rd] = true
+				out[rd]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package measure
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"depscope/internal/core"
+	"depscope/internal/ecosystem"
+)
+
+const testScale = 2000
+
+type fixture struct {
+	u   *ecosystem.Universe
+	w   *ecosystem.World
+	res *Results
+}
+
+var fixtures = map[ecosystem.Snapshot]*fixture{}
+
+// getFixture measures a materialized world once per snapshot and caches it
+// for all tests.
+func getFixture(t testing.TB, snap ecosystem.Snapshot) *fixture {
+	t.Helper()
+	if f, ok := fixtures[snap]; ok {
+		return f
+	}
+	u, err := ecosystem.Generate(ecosystem.Options{Scale: testScale, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ecosystem.Materialize(u, snap)
+	res, err := Run(context.Background(), w.Sites, Config{
+		Resolver: w.NewResolver(),
+		Certs:    w.Certs,
+		Pages:    w,
+		CDNMap:   CDNMap(w.CNAMEToCDN),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{u: u, w: w, res: res}
+	fixtures[snap] = f
+	return f
+}
+
+// expectedDNSClass maps ground truth to the class the pipeline should
+// output (traps included).
+func expectedDNSClass(ss ecosystem.SiteSnapshot) core.DepClass {
+	if ss.DNSTrap == ecosystem.TrapUnknown {
+		return core.ClassUnknown
+	}
+	switch ss.DNSMode {
+	case ecosystem.DepPrivate:
+		return core.ClassPrivate
+	case ecosystem.DepSingleThird:
+		return core.ClassSingleThird
+	case ecosystem.DepMultiThird:
+		return core.ClassMultiThird
+	case ecosystem.DepPrivatePlusThird:
+		return core.ClassPrivatePlusThird
+	}
+	return core.ClassNone
+}
+
+func siteTruth(f *fixture, snap ecosystem.Snapshot) map[string]ecosystem.SiteSnapshot {
+	out := make(map[string]ecosystem.SiteSnapshot)
+	for _, s := range f.u.List(snap) {
+		if s.Snap[snap].Exists {
+			out[s.Domain] = s.Snap[snap]
+		}
+	}
+	return out
+}
+
+func TestPipelineRecoversDNSGroundTruth(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	truth := siteTruth(f, ecosystem.Y2020)
+	mismatch := 0
+	var firstMsg string
+	for _, sr := range f.res.Sites {
+		ss := truth[sr.Site]
+		want := expectedDNSClass(ss)
+		if sr.DNS.Class != want {
+			mismatch++
+			if firstMsg == "" {
+				firstMsg = sr.Site + ": got " + sr.DNS.Class.String() + ", want " + want.String() +
+					" (mode " + ss.DNSMode.String() + ", trap " + itoa(int(ss.DNSTrap)) + ", providers " + join(ss.DNSProviders) + ")"
+			}
+		}
+	}
+	// A handful of edge interactions are tolerable (e.g. vanity sites
+	// without HTTPS become uncharacterized); systematic breakage is not.
+	if frac := float64(mismatch) / float64(len(f.res.Sites)); frac > 0.01 {
+		t.Fatalf("DNS class mismatches: %d/%d (%.2f%%), first: %s",
+			mismatch, len(f.res.Sites), 100*frac, firstMsg)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+func TestPipelineRecoversDNSProviders(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	truth := siteTruth(f, ecosystem.Y2020)
+	checked := 0
+	for _, sr := range f.res.Sites {
+		ss := truth[sr.Site]
+		if ss.DNSTrap != ecosystem.TrapNone || !ss.DNSMode.UsesThird() {
+			continue
+		}
+		// Expected measured identity: the registrable domain of the
+		// provider's primary nameserver domain.
+		want := make(map[string]bool)
+		for _, pname := range ss.DNSProviders {
+			p := f.u.Provider(pname)
+			want[p.NSDomains[0]] = true
+		}
+		if len(sr.DNS.Providers) != len(want) {
+			t.Fatalf("site %s: measured providers %v, want %v", sr.Site, sr.DNS.Providers, want)
+		}
+		for _, got := range sr.DNS.Providers {
+			if !want[got] {
+				t.Fatalf("site %s: measured provider %q not in truth %v", sr.Site, got, want)
+			}
+		}
+		checked++
+	}
+	if checked < testScale/3 {
+		t.Fatalf("only %d sites checked", checked)
+	}
+}
+
+func TestPipelineRecoversCAGroundTruth(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	truth := siteTruth(f, ecosystem.Y2020)
+	for _, sr := range f.res.Sites {
+		ss := truth[sr.Site]
+		if sr.CA.HTTPS != ss.HTTPS {
+			t.Fatalf("site %s: HTTPS got %v want %v", sr.Site, sr.CA.HTTPS, ss.HTTPS)
+		}
+		if !ss.HTTPS {
+			continue
+		}
+		if sr.CA.Stapled != ss.Stapled {
+			t.Fatalf("site %s: stapled got %v want %v", sr.Site, sr.CA.Stapled, ss.Stapled)
+		}
+		wantThird := !ss.PrivateCA
+		if sr.CA.Third != wantThird {
+			t.Fatalf("site %s: CA third got %v want %v (CA %q, alias %v)",
+				sr.Site, sr.CA.Third, wantThird, ss.CA, ss.PrivateCAAlias)
+		}
+		if wantThird {
+			p := f.u.Provider(ss.CA)
+			if sr.CA.CAName != p.Domain {
+				t.Fatalf("site %s: CA identity got %q want %q", sr.Site, sr.CA.CAName, p.Domain)
+			}
+		}
+	}
+}
+
+func TestPipelineRecoversCDNGroundTruth(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	truth := siteTruth(f, ecosystem.Y2020)
+	for _, sr := range f.res.Sites {
+		ss := truth[sr.Site]
+		wantUses := ss.CDNMode != ecosystem.DepNone
+		if sr.CDN.UsesCDN != wantUses {
+			t.Fatalf("site %s: UsesCDN got %v want %v (mode %v trap %d)",
+				sr.Site, sr.CDN.UsesCDN, wantUses, ss.CDNMode, ss.CDNTrap)
+		}
+		if !wantUses {
+			continue
+		}
+		var wantClass core.DepClass
+		switch ss.CDNMode {
+		case ecosystem.DepPrivate:
+			wantClass = core.ClassPrivate
+		case ecosystem.DepSingleThird:
+			wantClass = core.ClassSingleThird
+		case ecosystem.DepMultiThird:
+			wantClass = core.ClassMultiThird
+		default:
+			wantClass = core.ClassPrivatePlusThird
+		}
+		if sr.CDN.Class != wantClass {
+			t.Fatalf("site %s: CDN class got %v want %v (providers %v, measured %v/%v, trap %d)",
+				sr.Site, sr.CDN.Class, wantClass, ss.CDNProviders, sr.CDN.Third, sr.CDN.PrivateCDNs, ss.CDNTrap)
+		}
+		// Third CDN names must match ground truth exactly.
+		want := make(map[string]bool)
+		for _, c := range ss.CDNProviders {
+			want[c] = true
+		}
+		for _, got := range sr.CDN.Third {
+			if !want[got] {
+				t.Fatalf("site %s: measured CDN %q not planted (%v)", sr.Site, got, ss.CDNProviders)
+			}
+		}
+		if len(sr.CDN.Third) != len(want) {
+			t.Fatalf("site %s: measured %v, want %v", sr.Site, sr.CDN.Third, ss.CDNProviders)
+		}
+	}
+}
+
+// TestValidationAccuracy reproduces the paper's §3.1 validation: on a random
+// 100-site sample, the combined heuristic beats TLD-only and SOA-only
+// matching (paper: 100% vs 97% vs 56%).
+func TestValidationAccuracy(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	truth := siteTruth(f, ecosystem.Y2020)
+	b := NewBaselines(Config{
+		Resolver: f.w.NewResolver(),
+		Certs:    f.w.Certs,
+		Pages:    f.w,
+		CDNMap:   CDNMap(f.w.CNAMEToCDN),
+	})
+	ctx := context.Background()
+
+	// The paper validates on a 100-site random sample; with a 2K-site world
+	// the rare corner cases (vanity NS ~0.4% of sites) would usually be
+	// absent from such a sample, so we validate over the full characterized
+	// population — a strict superset of the paper's experiment.
+	rng := rand.New(rand.NewSource(11))
+	var sample []SiteResult
+	perm := rng.Perm(len(f.res.Sites))
+	for _, idx := range perm {
+		sr := f.res.Sites[idx]
+		if truth[sr.Site].DNSTrap == ecosystem.TrapUnknown {
+			continue // the paper samples characterized pairs
+		}
+		sample = append(sample, sr)
+	}
+
+	var pairs, tldOK, soaOK, combinedOK int
+	for _, sr := range sample {
+		ss := truth[sr.Site]
+		wantThird := ss.DNSMode.UsesThird() && ss.DNSMode != ecosystem.DepPrivatePlusThird
+		for _, pair := range sr.DNS.Pairs {
+			// Ground truth per pair: private iff the host belongs to the
+			// site (its own domain or alias).
+			isPrivate := !wantThird
+			if ss.DNSMode == ecosystem.DepPrivatePlusThird {
+				isPrivate = BaselineTLD(sr.Site, pair.Host) == Private
+			}
+			want := Third
+			if isPrivate {
+				want = Private
+			}
+			pairs++
+			if got := b.TLD(sr.Site, pair.Host); got == want {
+				tldOK++
+			}
+			got, err := b.SOA(ctx, sr.Site, pair.Host)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == want {
+				soaOK++
+			}
+			if pair.Class == want {
+				combinedOK++
+			}
+		}
+	}
+	acc := func(ok int) float64 { return float64(ok) / float64(pairs) }
+	t.Logf("validation sample: %d pairs, combined %.1f%%, TLD %.1f%%, SOA %.1f%%",
+		pairs, 100*acc(combinedOK), 100*acc(tldOK), 100*acc(soaOK))
+	if acc(combinedOK) < 0.999 {
+		t.Errorf("combined accuracy %.4f, want ~1.0", acc(combinedOK))
+	}
+	if acc(tldOK) < 0.95 || acc(tldOK) >= acc(combinedOK) {
+		t.Errorf("TLD accuracy %.4f, want high but below combined %.4f", acc(tldOK), acc(combinedOK))
+	}
+	if acc(soaOK) > 0.80 {
+		t.Errorf("SOA accuracy %.3f, expected to be poor (~0.56 in the paper)", acc(soaOK))
+	}
+}
+
+func TestInterServiceDigiCertChain(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	dep, ok := f.res.CAToDNS["digicert.com"]
+	if !ok {
+		t.Fatal("DigiCert not measured for CA->DNS")
+	}
+	if dep.Class != core.ClassSingleThird {
+		t.Fatalf("DigiCert DNS class = %v, want single-third", dep.Class)
+	}
+	if len(dep.Deps) != 1 || dep.Deps[0] != "dnsmadeeasy.com" {
+		t.Fatalf("DigiCert DNS deps = %v, want dnsmadeeasy.com", dep.Deps)
+	}
+	cdn, ok := f.res.CAToCDN["digicert.com"]
+	if !ok || cdn.Class != core.ClassSingleThird || len(cdn.Deps) != 1 || cdn.Deps[0] != "Incapsula" {
+		t.Fatalf("DigiCert CDN dep = %+v, want critical on Incapsula", cdn)
+	}
+}
+
+func TestInterServiceCDNToDNS(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	// The big CDNs run private DNS (Obs 11).
+	for _, name := range []string{"Amazon CloudFront", "Akamai", "Incapsula"} {
+		dep, ok := f.res.CDNToDNS[name]
+		if !ok {
+			t.Fatalf("%s not measured", name)
+		}
+		if dep.Class != core.ClassPrivate {
+			t.Errorf("%s DNS class = %v, want private", name, dep.Class)
+		}
+	}
+	// Fastly is redundantly provisioned across Dyn and private DNS in 2020.
+	if dep, ok := f.res.CDNToDNS["Fastly"]; ok {
+		if dep.Class != core.ClassPrivatePlusThird {
+			t.Errorf("Fastly DNS class = %v, want private+third", dep.Class)
+		}
+		if len(dep.Deps) != 1 || dep.Deps[0] != "dynect.net" {
+			t.Errorf("Fastly DNS deps = %v, want dynect.net", dep.Deps)
+		}
+	} else {
+		t.Error("Fastly not measured")
+	}
+}
+
+func TestInterServiceAmazonCAPrivateCDN(t *testing.T) {
+	f := getFixture(t, ecosystem.Y2020)
+	dep, ok := f.res.CAToCDN["amazontrust.com"]
+	if !ok {
+		t.Skip("no site sampled Amazon CA at this scale")
+	}
+	if dep.Class != core.ClassPrivate {
+		t.Errorf("Amazon CA CDN class = %v (deps %v), want private", dep.Class, dep.Deps)
+	}
+}
+
+func TestRunRequiresResolver(t *testing.T) {
+	if _, err := Run(context.Background(), []string{"a.com"}, Config{}); err == nil {
+		t.Error("Run accepted empty config")
+	}
+}
+
+func TestCDNMapMatch(t *testing.T) {
+	m := CDNMap{"cloudfront.net": "Amazon CloudFront", "cdn.cloudflare.net": "Cloudflare CDN", "net": "bogus"}
+	if cdn, _, ok := m.Match("d123.cloudfront.net."); !ok || cdn != "Amazon CloudFront" {
+		t.Errorf("match = %q %v", cdn, ok)
+	}
+	// Longest suffix wins.
+	if cdn, _, _ := m.Match("x.cdn.cloudflare.net"); cdn != "Cloudflare CDN" {
+		t.Errorf("longest match = %q", cdn)
+	}
+	if _, _, ok := m.Match("example.org"); ok {
+		t.Error("matched unrelated host")
+	}
+	// Suffix must align on a label boundary.
+	if cdn, _, _ := m.Match("evilcloudfront.net"); cdn == "Amazon CloudFront" {
+		t.Error("matched across label boundary")
+	}
+}

@@ -1,0 +1,79 @@
+package measure
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"depscope/internal/dnsserver"
+	"depscope/internal/ecosystem"
+	"depscope/internal/resolver"
+)
+
+// TestFullPipelineOverWire runs the complete measurement (DNS, CA, CDN and
+// inter-service passes) against a generated world served over real UDP/TCP
+// DNS, and requires bit-identical results to the in-process path — the
+// strongest form of the DESIGN.md cross-check.
+func TestFullPipelineOverWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket-heavy")
+	}
+	u, err := ecosystem.Generate(ecosystem.Options{Scale: 250, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ecosystem.Materialize(u, ecosystem.Y2020)
+	srv := dnsserver.New(w.Zones, dnsserver.Config{})
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	base := Config{
+		Certs:                  w.Certs,
+		Pages:                  w,
+		CDNMap:                 CDNMap(w.CNAMEToCDN),
+		ConcentrationThreshold: 5,
+		Workers:                8,
+	}
+
+	direct := base
+	direct.Resolver = w.NewResolver()
+	wantRes, err := Run(ctx, w.Sites, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wire := base
+	wire.Resolver = resolver.New(resolver.NewUDPTransport(addr))
+	gotRes, err := Run(ctx, w.Sites, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if srv.Queries() == 0 {
+		t.Fatal("wire run issued no queries")
+	}
+	if !reflect.DeepEqual(gotRes.Sites, wantRes.Sites) {
+		for i := range gotRes.Sites {
+			if !reflect.DeepEqual(gotRes.Sites[i], wantRes.Sites[i]) {
+				t.Fatalf("site %s differs over the wire:\nwire:   %+v\ndirect: %+v",
+					gotRes.Sites[i].Site, gotRes.Sites[i], wantRes.Sites[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(gotRes.CAToDNS, wantRes.CAToDNS) {
+		t.Error("CA->DNS differs over the wire")
+	}
+	if !reflect.DeepEqual(gotRes.CDNToDNS, wantRes.CDNToDNS) {
+		t.Error("CDN->DNS differs over the wire")
+	}
+	if !reflect.DeepEqual(gotRes.CAToCDN, wantRes.CAToCDN) {
+		t.Error("CA->CDN differs over the wire")
+	}
+	if gotRes.PairStats != wantRes.PairStats {
+		t.Errorf("pair stats differ: %+v vs %+v", gotRes.PairStats, wantRes.PairStats)
+	}
+}

@@ -1,0 +1,27 @@
+package publicsuffix_test
+
+import (
+	"fmt"
+
+	"depscope/internal/publicsuffix"
+)
+
+func ExampleRegistrableDomain() {
+	fmt.Println(publicsuffix.RegistrableDomain("www.example.co.uk"))
+	fmt.Println(publicsuffix.RegistrableDomain("static.assets.example.com"))
+	fmt.Println(publicsuffix.RegistrableDomain("com"))
+	// Output:
+	// example.co.uk
+	// example.com
+	//
+}
+
+func ExampleSameRegistrableDomain() {
+	// The paper's alicdn.com / alibabadns.com pitfall: same organisation,
+	// different registrable domains.
+	fmt.Println(publicsuffix.SameRegistrableDomain("www.youtube.com", "m.youtube.com"))
+	fmt.Println(publicsuffix.SameRegistrableDomain("ns.alicdn.com", "ns.alibabadns.com"))
+	// Output:
+	// true
+	// false
+}

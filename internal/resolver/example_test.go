@@ -1,0 +1,37 @@
+package resolver_test
+
+import (
+	"context"
+	"fmt"
+
+	"depscope/internal/dnsmsg"
+	"depscope/internal/dnszone"
+	"depscope/internal/resolver"
+)
+
+// Example shows the measurement primitives against an in-process zone
+// store: the same calls work unchanged over the wire by swapping the
+// transport for resolver.NewUDPTransport(addr).
+func Example() {
+	store := dnszone.NewStore()
+	z := dnszone.NewZone("example.com.", dnsmsg.SOAData{
+		MName: "ns1.dns-provider.net.", RName: "hostmaster.example.com.",
+	})
+	z.MustAdd(dnsmsg.Record{Name: "example.com.", Type: dnsmsg.TypeNS, TTL: 300, Target: "ns1.dns-provider.net."})
+	z.MustAdd(dnsmsg.Record{Name: "www.example.com.", Type: dnsmsg.TypeCNAME, TTL: 300, Target: "edge-1.cdn-provider.net."})
+	store.AddZone(z)
+
+	r := resolver.New(resolver.ZoneDirect{Store: store})
+	ctx := context.Background()
+
+	ns, _ := r.NS(ctx, "example.com")
+	fmt.Println("NS:", ns)
+	soa, _, _ := r.SOA(ctx, "example.com")
+	fmt.Println("SOA master:", soa.MName)
+	chain, _ := r.CNAMEChain(ctx, "www.example.com")
+	fmt.Println("CNAME chain:", chain)
+	// Output:
+	// NS: [ns1.dns-provider.net.]
+	// SOA master: ns1.dns-provider.net.
+	// CNAME chain: [www.example.com. edge-1.cdn-provider.net.]
+}

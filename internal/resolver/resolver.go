@@ -1,0 +1,266 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"depscope/internal/dnsmsg"
+)
+
+// ErrServFail is returned when the authority answered SERVFAIL or REFUSED.
+var ErrServFail = errors.New("resolver: server failure")
+
+// Result is the outcome of one cached lookup.
+type Result struct {
+	RCode     dnsmsg.RCode
+	Answers   []dnsmsg.Record
+	Authority []dnsmsg.Record
+}
+
+// NXDomain reports whether the lookup said the name does not exist.
+func (r Result) NXDomain() bool { return r.RCode == dnsmsg.RCodeNameError }
+
+type cacheKey struct {
+	name  string
+	qtype dnsmsg.Type
+}
+
+type cacheEntry struct {
+	res     Result
+	expires time.Time
+}
+
+// Resolver is a caching stub resolver over a Transport.
+type Resolver struct {
+	transport Transport
+
+	// now is the clock, injectable for cache-expiry tests.
+	now func() time.Time
+	// negTTL is the cache lifetime of NXDOMAIN/NODATA results; zero
+	// disables negative caching.
+	negTTL time.Duration
+	// maxTTL caps positive cache lifetimes.
+	maxTTL time.Duration
+
+	mu      sync.RWMutex
+	cache   map[cacheKey]cacheEntry
+	queries int64
+	hits    int64
+}
+
+// Option configures a Resolver.
+type Option func(*Resolver)
+
+// WithClock sets the cache clock (for tests).
+func WithClock(now func() time.Time) Option {
+	return func(r *Resolver) { r.now = now }
+}
+
+// WithNegativeTTL sets the negative-cache lifetime.
+func WithNegativeTTL(d time.Duration) Option {
+	return func(r *Resolver) { r.negTTL = d }
+}
+
+// WithMaxTTL caps positive cache lifetimes.
+func WithMaxTTL(d time.Duration) Option {
+	return func(r *Resolver) { r.maxTTL = d }
+}
+
+// New creates a resolver using transport.
+func New(transport Transport, opts ...Option) *Resolver {
+	r := &Resolver{
+		transport: transport,
+		now:       time.Now,
+		negTTL:    60 * time.Second,
+		maxTTL:    time.Hour,
+		cache:     make(map[cacheKey]cacheEntry),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Stats returns total lookups and cache hits.
+func (r *Resolver) Stats() (queries, hits int64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.queries, r.hits
+}
+
+// Lookup queries (name, qtype), serving from cache when possible.
+func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnsmsg.Type) (Result, error) {
+	key := cacheKey{dnsmsg.CanonicalName(name), qtype}
+	now := r.now()
+
+	r.mu.Lock()
+	r.queries++
+	if e, ok := r.cache[key]; ok && now.Before(e.expires) {
+		r.hits++
+		r.mu.Unlock()
+		return e.res, nil
+	}
+	r.mu.Unlock()
+
+	q := dnsmsg.NewQuery(0, key.name, qtype)
+	resp, err := r.transport.Exchange(ctx, q)
+	if err != nil {
+		return Result{}, err
+	}
+	switch resp.Header.RCode {
+	case dnsmsg.RCodeSuccess, dnsmsg.RCodeNameError:
+	default:
+		return Result{RCode: resp.Header.RCode}, fmt.Errorf("%w: %s %s -> %s", ErrServFail, key.name, qtype, resp.Header.RCode)
+	}
+	res := Result{
+		RCode:     resp.Header.RCode,
+		Answers:   resp.Answers,
+		Authority: resp.Authority,
+	}
+	r.store(key, res, now)
+	return res, nil
+}
+
+func (r *Resolver) store(key cacheKey, res Result, now time.Time) {
+	ttl := r.negTTL
+	if len(res.Answers) > 0 {
+		minTTL := time.Duration(res.Answers[0].TTL) * time.Second
+		for _, a := range res.Answers[1:] {
+			if d := time.Duration(a.TTL) * time.Second; d < minTTL {
+				minTTL = d
+			}
+		}
+		if minTTL > r.maxTTL {
+			minTTL = r.maxTTL
+		}
+		ttl = minTTL
+	}
+	if ttl <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.cache[key] = cacheEntry{res: res, expires: now.Add(ttl)}
+	r.mu.Unlock()
+}
+
+// FlushCache drops all cached entries.
+func (r *Resolver) FlushCache() {
+	r.mu.Lock()
+	r.cache = make(map[cacheKey]cacheEntry)
+	r.mu.Unlock()
+}
+
+// NS returns the nameserver host names of domain (the paper's DIG_NS(w)).
+// The result is empty (not an error) on NXDOMAIN or NODATA.
+func (r *Resolver) NS(ctx context.Context, domain string) ([]string, error) {
+	res, err := r.Lookup(ctx, domain, dnsmsg.TypeNS)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, a := range res.Answers {
+		if a.Type == dnsmsg.TypeNS {
+			out = append(out, a.Target)
+		}
+	}
+	return out, nil
+}
+
+// SOA returns the start-of-authority data governing name: the answer SOA if
+// present, otherwise the SOA from the authority section (as dig reports for
+// NODATA/NXDOMAIN responses). ok is false when no SOA is visible at all.
+func (r *Resolver) SOA(ctx context.Context, name string) (dnsmsg.SOAData, bool, error) {
+	res, err := r.Lookup(ctx, name, dnsmsg.TypeSOA)
+	if err != nil {
+		return dnsmsg.SOAData{}, false, err
+	}
+	for _, a := range res.Answers {
+		if a.Type == dnsmsg.TypeSOA && a.SOA != nil {
+			return *a.SOA, true, nil
+		}
+	}
+	for _, a := range res.Authority {
+		if a.Type == dnsmsg.TypeSOA && a.SOA != nil {
+			return *a.SOA, true, nil
+		}
+	}
+	return dnsmsg.SOAData{}, false, nil
+}
+
+// Authority returns the zone of authority governing name: the owner name of
+// the SOA record visible for it (answer section at a zone apex, authority
+// section for NODATA/NXDOMAIN) along with the SOA data. ok is false when no
+// SOA is visible.
+func (r *Resolver) Authority(ctx context.Context, name string) (origin string, soa dnsmsg.SOAData, ok bool, err error) {
+	res, err := r.Lookup(ctx, name, dnsmsg.TypeSOA)
+	if err != nil {
+		return "", dnsmsg.SOAData{}, false, err
+	}
+	for _, a := range res.Answers {
+		if a.Type == dnsmsg.TypeSOA && a.SOA != nil {
+			return dnsmsg.CanonicalName(a.Name), *a.SOA, true, nil
+		}
+	}
+	for _, a := range res.Authority {
+		if a.Type == dnsmsg.TypeSOA && a.SOA != nil {
+			return dnsmsg.CanonicalName(a.Name), *a.SOA, true, nil
+		}
+	}
+	return "", dnsmsg.SOAData{}, false, nil
+}
+
+// CNAME returns the canonical-name target of host, or "" when host has no
+// CNAME record (the paper's dig CNAME probe used for CDN detection).
+func (r *Resolver) CNAME(ctx context.Context, host string) (string, error) {
+	res, err := r.Lookup(ctx, host, dnsmsg.TypeCNAME)
+	if err != nil {
+		return "", err
+	}
+	for _, a := range res.Answers {
+		if a.Type == dnsmsg.TypeCNAME {
+			return a.Target, nil
+		}
+	}
+	return "", nil
+}
+
+// CNAMEChain resolves host's full CNAME chain (host first, final target
+// last). A host with no CNAME yields just [host].
+func (r *Resolver) CNAMEChain(ctx context.Context, host string) ([]string, error) {
+	chain := []string{dnsmsg.CanonicalName(host)}
+	for i := 0; i < 16; i++ {
+		target, err := r.CNAME(ctx, chain[len(chain)-1])
+		if err != nil {
+			return chain, err
+		}
+		if target == "" {
+			return chain, nil
+		}
+		target = dnsmsg.CanonicalName(target)
+		for _, prev := range chain {
+			if prev == target {
+				return chain, fmt.Errorf("resolver: CNAME loop at %s", target)
+			}
+		}
+		chain = append(chain, target)
+	}
+	return chain, fmt.Errorf("resolver: CNAME chain for %s too long", host)
+}
+
+// Addrs returns the IPv4 addresses of host, following CNAMEs.
+func (r *Resolver) Addrs(ctx context.Context, host string) ([]string, error) {
+	res, err := r.Lookup(ctx, host, dnsmsg.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, a := range res.Answers {
+		if a.Type == dnsmsg.TypeA && len(a.IP) == 4 {
+			out = append(out, fmt.Sprintf("%d.%d.%d.%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3]))
+		}
+	}
+	return out, nil
+}
