@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/analysis/ ./internal/core/ ./internal/measure/
+
+# bench runs the headline metric benchmarks (Figure 5/6 renders plus the
+# batched C_p/I_p engine microbenchmarks) and writes BENCH_metrics.json.
+bench:
+	./docs/bench.sh

@@ -216,6 +216,41 @@ func BenchmarkFigure5ProviderConcentration(b *testing.B) {
 	}
 }
 
+// BenchmarkTopProvidersBatch prices the batched metrics engine against the
+// per-provider recursion it replaced, on the measured 2020 snapshot. The
+// "batch" arm builds a cold engine and computes C_p and I_p for every
+// provider in one pass; the "perprovider" arm walks the recursive sets once
+// per provider, the shape every Figure 5 render used to pay.
+func BenchmarkTopProvidersBatch(b *testing.B) {
+	run := benchFixture(b)
+	g := run.Y2020.Graph
+	opts := core.AllIndirect()
+	var names []string
+	for name := range g.Providers {
+		names = append(names, name)
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := core.NewMetricsEngine(g, 0)
+			conc, imp := e.Counts(opts)
+			if len(conc) == 0 || len(imp) == 0 {
+				b.Fatal("empty counts")
+			}
+		}
+	})
+	b.Run("perprovider", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, name := range names {
+				if len(g.ConcentrationSet(name, opts))+len(g.ImpactSet(name, opts)) < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		}
+	})
+}
+
 func BenchmarkFigure6ConcentrationCDF(b *testing.B) {
 	run := benchFixture(b)
 	b.ResetTimer()

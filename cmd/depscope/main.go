@@ -31,7 +31,7 @@ func main() {
 	var (
 		scale      = flag.Int("scale", 100000, "ranked-list length (the paper uses 100000)")
 		seed       = flag.Int64("seed", 2020, "generator seed")
-		workers    = flag.Int("workers", 0, "measurement concurrency (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "measurement and metrics concurrency (values < 1 mean GOMAXPROCS)")
 		experiment = flag.String("experiment", "", "print only one experiment (table1..table11, figure2..figure9, hidden, criticaldeps, robustness)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		outage     = flag.String("outage", "", "what-if analysis: provider identity to fail (e.g. dnsmadeeasy.com, Akamai)")

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Runs the provider-metrics benchmarks (Figure 5/6 renders and the batched
+# C_p/I_p engine microbenchmarks) with -benchmem and converts the output to
+# BENCH_metrics.json at the repo root. Usage: ./docs/bench.sh [benchtime]
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+out=BENCH_metrics.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch' \
+	-benchmem -benchtime "$benchtime" ./... | tee "$raw"
+
+awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")     ns = $(i - 1)
+		if ($(i) == "B/op")      bytes = $(i - 1)
+		if ($(i) == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+	if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -7,6 +7,8 @@ package analysis
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"depscope/internal/core"
 	"depscope/internal/ecosystem"
@@ -35,14 +37,17 @@ type Options struct {
 	Scale int
 	// Seed drives the generator.
 	Seed int64
-	// Workers bounds measurement concurrency; 0 means GOMAXPROCS.
+	// Workers bounds measurement and metrics concurrency; any value < 1
+	// means GOMAXPROCS.
 	Workers int
 	// ConcentrationThreshold overrides the §3.1 cutoff; 0 means 50.
 	ConcentrationThreshold int
 	// Snapshots limits the run; nil means both.
 	Snapshots []ecosystem.Snapshot
 	// Progress, when set, receives one line per phase (generation, per-
-	// snapshot materialization and measurement).
+	// snapshot materialization and measurement). Execute serializes the
+	// calls, so a callback writing to a plain buffer is race-free even
+	// though the snapshots are measured concurrently.
 	Progress func(format string, args ...any)
 }
 
@@ -51,14 +56,25 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 	if opts.Scale <= 0 {
 		return nil, fmt.Errorf("analysis: scale must be positive")
 	}
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	u, err := ecosystem.Generate(ecosystem.Options{Scale: opts.Scale, Seed: opts.Seed})
 	if err != nil {
 		return nil, err
 	}
 	run := &Run{Scale: opts.Scale, Universe: u}
-	progress := opts.Progress
-	if progress == nil {
-		progress = func(string, ...any) {}
+	// The two snapshot goroutines below report progress concurrently;
+	// serialize the user callback so it needs no locking of its own.
+	var progressMu sync.Mutex
+	userProgress := opts.Progress
+	progress := func(format string, args ...any) {
+		if userProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		userProgress(format, args...)
 	}
 	progress("generated universe: %d sites, %d providers", len(u.Sites), len(u.Providers))
 	snaps := opts.Snapshots
@@ -109,11 +125,13 @@ func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.
 	if err != nil {
 		return nil, err
 	}
+	g := BuildGraph(res)
+	g.SetMetricsWorkers(opts.Workers)
 	return &SnapshotData{
 		Snapshot: snap,
 		World:    w,
 		Results:  res,
-		Graph:    BuildGraph(res),
+		Graph:    g,
 	}, nil
 }
 

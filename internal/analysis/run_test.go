@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"depscope/internal/core"
+)
+
+// TestExecuteProgressSerialized: the two snapshot goroutines report progress
+// concurrently, and Execute promises to serialize the callback. The recorder
+// below appends to a plain slice with no locking of its own — under -race
+// this fails if Execute ever lets two calls overlap.
+func TestExecuteProgressSerialized(t *testing.T) {
+	var lines []string
+	run, err := Execute(context.Background(), Options{
+		Scale: 500,
+		Seed:  11,
+		Progress: func(format string, args ...any) {
+			lines = append(lines, format)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Y2016 == nil || run.Y2020 == nil {
+		t.Fatal("missing snapshot data")
+	}
+	// One generation line plus one line per measured snapshot.
+	if len(lines) < 3 {
+		t.Errorf("got %d progress lines, want >= 3: %q", len(lines), lines)
+	}
+	var measured int
+	for _, l := range lines {
+		if strings.Contains(l, "measured") {
+			measured++
+		}
+	}
+	if measured != 2 {
+		t.Errorf("got %d measurement progress lines, want 2", measured)
+	}
+}
+
+// TestExecuteNegativeWorkers: Options.Workers below 1 means GOMAXPROCS; the
+// run must complete and produce graphs whose metrics engine works.
+func TestExecuteNegativeWorkers(t *testing.T) {
+	run, err := Execute(context.Background(), Options{Scale: 300, Seed: 3, Workers: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sd := range []*SnapshotData{run.Y2016, run.Y2020} {
+		if sd == nil || sd.Graph == nil {
+			t.Fatal("missing snapshot graph")
+		}
+		stats := sd.Graph.TopProviders(core.DNS, core.AllIndirect(), false, 3)
+		if len(stats) == 0 {
+			t.Error("no DNS providers ranked")
+		}
+	}
+}

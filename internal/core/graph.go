@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Service is an infrastructure service type.
@@ -130,6 +131,13 @@ type Graph struct {
 	// privateUsersOf[provider] lists sites owning that private
 	// infrastructure node (always a critical dependency).
 	privateUsersOf map[string][]*Site
+
+	// The batched metrics engine (metrics.go) is created lazily and caches
+	// per-traversal results; the graph is immutable after NewGraph, so the
+	// cache never invalidates.
+	metricsMu      sync.Mutex
+	metricsWorkers int
+	metrics        *MetricsEngine
 }
 
 // NewGraph builds a graph and its indexes.
@@ -272,14 +280,17 @@ func (g *Graph) gather(p string, opts TraversalOpts, critical bool, out map[stri
 	}
 }
 
-// Concentration returns |C_p|.
+// Concentration returns |C_p|, served by the batched metrics engine: the
+// first query for a traversal computes counts for every provider at once and
+// later queries are map lookups. It always equals len(ConcentrationSet).
 func (g *Graph) Concentration(p string, opts TraversalOpts) int {
-	return len(g.ConcentrationSet(p, opts))
+	return g.Metrics().Concentration(p, opts)
 }
 
-// Impact returns |I_p|.
+// Impact returns |I_p|, served by the batched metrics engine. It always
+// equals len(ImpactSet).
 func (g *Graph) Impact(p string, opts TraversalOpts) int {
-	return len(g.ImpactSet(p, opts))
+	return g.Metrics().Impact(p, opts)
 }
 
 // ProviderStat pairs a provider with its concentration and impact.
@@ -291,8 +302,28 @@ type ProviderStat struct {
 }
 
 // TopProviders ranks the providers of svc by the chosen metric under opts,
-// descending; n <= 0 returns all.
+// descending; n <= 0 returns all. Metrics come from the batched engine, so
+// ranking all providers costs one propagation (cached per traversal), not
+// one graph walk per provider.
 func (g *Graph) TopProviders(svc Service, opts TraversalOpts, byImpact bool, n int) []ProviderStat {
+	conc, imp := g.Metrics().Counts(opts)
+	return g.topProviders(svc, byImpact, n, func(pname string) (int, int) {
+		return conc[pname], imp[pname]
+	})
+}
+
+// topProvidersRecursive is the seed per-provider implementation, retained as
+// the reference that equivalence tests and benchmarks hold the batched
+// engine against.
+func (g *Graph) topProvidersRecursive(svc Service, opts TraversalOpts, byImpact bool, n int) []ProviderStat {
+	return g.topProviders(svc, byImpact, n, func(pname string) (int, int) {
+		return len(g.ConcentrationSet(pname, opts)), len(g.ImpactSet(pname, opts))
+	})
+}
+
+// topProviders collects, filters and ranks provider stats with metrics
+// supplied by the given lookup.
+func (g *Graph) topProviders(svc Service, byImpact bool, n int, metrics func(string) (conc, imp int)) []ProviderStat {
 	var stats []ProviderStat
 	seen := make(map[string]bool)
 	collect := func(pname string) {
@@ -309,11 +340,12 @@ func (g *Graph) TopProviders(svc Service, opts TraversalOpts, byImpact bool, n i
 		if len(g.privateUsersOf[pname]) > 0 && !g.hasPublicUsers(pname) {
 			return
 		}
+		conc, imp := metrics(pname)
 		stats = append(stats, ProviderStat{
 			Name:          pname,
 			Service:       svc,
-			Concentration: g.Concentration(pname, opts),
-			Impact:        g.Impact(pname, opts),
+			Concentration: conc,
+			Impact:        imp,
 		})
 	}
 	for pname := range g.usersOf[svc] {

@@ -2,13 +2,15 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
 
 // randomGraph builds a random but structurally valid dependency graph:
 // sites over three services with arbitrary classes, providers with random
-// inter-service dependencies (possibly cyclic).
+// inter-service dependencies (possibly cyclic), and occasional private
+// infrastructure nodes so the hidden-dependency path is exercised too.
 func randomGraph(seed int64) *Graph {
 	rng := rand.New(rand.NewSource(seed))
 	nProviders := 3 + rng.Intn(10)
@@ -58,6 +60,12 @@ func randomGraph(seed int64) *Graph {
 				}
 			}
 			s.Deps[svc] = Dep{Class: class, Providers: deps}
+		}
+		if rng.Intn(4) == 0 {
+			svc := Service(rng.Intn(3))
+			s.PrivateInfra = map[Service][]string{
+				svc: {providerNames[rng.Intn(nProviders)]},
+			}
 		}
 		sites = append(sites, s)
 	}
@@ -119,7 +127,7 @@ func TestPropertyTraversalMonotonic(t *testing.T) {
 }
 
 // Property: direct concentration equals the count of distinct sites listing
-// the provider in a third-party dep.
+// the provider in a third-party dep or owning it as private infrastructure.
 func TestPropertyDirectConcentrationMatchesManualCount(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(seed)
@@ -136,6 +144,13 @@ func TestPropertyDirectConcentrationMatchesManualCount(t *testing.T) {
 						}
 					}
 				}
+				for _, infra := range s.PrivateInfra {
+					for _, p := range infra {
+						if p == name {
+							manual[s.Name] = true
+						}
+					}
+				}
 			}
 			if g.Concentration(name, DirectOnly()) != len(manual) {
 				return false
@@ -144,6 +159,49 @@ func TestPropertyDirectConcentrationMatchesManualCount(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the batched metrics engine agrees exactly with the seed
+// per-provider recursion — counts match the recursive set sizes for every
+// provider and traversal, and TopProviders returns byte-identical
+// ProviderStat slices to the recursive reference implementation.
+func TestPropertyBatchedEngineMatchesRecursive(t *testing.T) {
+	optsList := []TraversalOpts{
+		DirectOnly(),
+		AllIndirect(),
+		{ViaProviders: []Service{CA}},
+		{ViaProviders: []Service{DNS, CDN}},
+	}
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		for _, opts := range optsList {
+			for name := range g.Providers {
+				if g.Concentration(name, opts) != len(g.ConcentrationSet(name, opts)) {
+					t.Logf("seed %d: C(%s) mismatch", seed, name)
+					return false
+				}
+				if g.Impact(name, opts) != len(g.ImpactSet(name, opts)) {
+					t.Logf("seed %d: I(%s) mismatch", seed, name)
+					return false
+				}
+			}
+			for _, svc := range Services {
+				for _, byImpact := range []bool{false, true} {
+					batch := g.TopProviders(svc, opts, byImpact, 0)
+					ref := g.topProvidersRecursive(svc, opts, byImpact, 0)
+					if !reflect.DeepEqual(batch, ref) {
+						t.Logf("seed %d svc %s byImpact %v:\nbatch: %+v\nref:   %+v",
+							seed, svc, byImpact, batch, ref)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
 	}
 }

@@ -41,18 +41,27 @@ type PageSource interface {
 // map).
 type CDNMap map[string]string
 
-// Match returns the CDN whose suffix covers name (longest suffix wins).
+// Match returns the CDN whose suffix covers name. Suffixes are normalized
+// like the name, the longest suffix wins, and ties — equal-length suffixes,
+// or distinct raw keys normalizing to the same suffix — break
+// lexicographically by suffix then CDN name, so attribution never depends on
+// map iteration order.
 func (m CDNMap) Match(name string) (cdn, suffix string, ok bool) {
 	name = publicsuffix.Normalize(name)
-	best := ""
-	for s, c := range m {
-		if name == s || strings.HasSuffix(name, "."+s) {
-			if len(s) > len(best) {
-				best, cdn = s, c
-			}
+	best, bestCDN := "", ""
+	for raw, c := range m {
+		s := publicsuffix.Normalize(raw)
+		if s == "" || (name != s && !strings.HasSuffix(name, "."+s)) {
+			continue
+		}
+		switch {
+		case len(s) > len(best),
+			len(s) == len(best) && s < best,
+			s == best && c < bestCDN:
+			best, bestCDN = s, c
 		}
 	}
-	return cdn, best, best != ""
+	return bestCDN, best, best != ""
 }
 
 // Config parameterizes a measurement run.
@@ -67,7 +76,7 @@ type Config struct {
 	CDNMap CDNMap
 	// ConcentrationThreshold is the §3.1 concentration cutoff; zero means 50.
 	ConcentrationThreshold int
-	// Workers bounds concurrency; zero means GOMAXPROCS.
+	// Workers bounds concurrency; any value < 1 means GOMAXPROCS.
 	Workers int
 	// SkipUnresolvable makes sites whose NS lookup fails outright come back
 	// as uncharacterized instead of failing the run — live measurements over
@@ -200,7 +209,9 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	if cfg.ConcentrationThreshold == 0 {
 		cfg.ConcentrationThreshold = 50
 	}
-	if cfg.Workers == 0 {
+	// Clamp, don't special-case zero: a negative value must not reach the
+	// worker-spawn loop (where it would degrade to a single worker at best).
+	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	m := &measurer{cfg: cfg}
