@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench
+.PHONY: all build test vet race verify bench bench-pipeline
 
 all: build test
 
@@ -10,10 +10,23 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
-	$(GO) test -race ./internal/analysis/ ./internal/core/ ./internal/measure/
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate: compile, static checks, the plain
+# suite, and the race-enabled suite (which covers the pipeline cancellation
+# and pool-shutdown tests).
+verify: build vet test race
 
 # bench runs the headline metric benchmarks (Figure 5/6 renders plus the
-# batched C_p/I_p engine microbenchmarks) and writes BENCH_metrics.json.
+# batched C_p/I_p engine microbenchmarks) and writes BENCH_metrics.json,
+# then the staged measurement pipeline benchmark into BENCH_pipeline.json.
 bench:
 	./docs/bench.sh
+
+# bench-pipeline runs only the scale-10K measurement pipeline benchmark.
+bench-pipeline:
+	./docs/bench.sh pipeline

@@ -23,6 +23,7 @@ import (
 
 	"depscope/internal/analysis"
 	"depscope/internal/casestudy"
+	"depscope/internal/conc"
 )
 
 func main() {
@@ -38,8 +39,13 @@ func main() {
 		dotFile    = flag.String("dot", "", "write the 2020 dependency graph in Graphviz format to this file")
 		asJSON     = flag.Bool("json", false, "emit the experiment summary as JSON instead of text")
 		csvFigure  = flag.String("csv", "", "emit one figure's data series as CSV (figure2..figure4, figure6-dns/cdn/ca, figure7..figure9)")
+		policyStr  = flag.String("error-policy", "failfast", "per-site error policy: failfast aborts on the first measurement error, collect marks the site uncharacterized and reports errors in the summary footer")
 	)
 	flag.Parse()
+	policy, err := conc.ParsePolicy(*policyStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	renderers := map[string]func(*analysis.Run){
 		"table1":       func(r *analysis.Run) { analysis.RenderTable1(os.Stdout, r) },
@@ -107,16 +113,24 @@ func main() {
 		}
 	}
 	run, err := analysis.Execute(context.Background(), analysis.Options{
-		Scale:    *scale,
-		Seed:     *seed,
-		Workers:  *workers,
-		Progress: progress,
+		Scale:       *scale,
+		Seed:        *seed,
+		Workers:     *workers,
+		ErrorPolicy: policy,
+		Progress:    progress,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !*quiet {
 		log.Printf("measurement complete in %v", time.Since(start).Round(time.Millisecond))
+	}
+	// Under collect, always account for what was tolerated; under failfast a
+	// completed run is error-free by construction, so stay quiet.
+	errorFooter := func() {
+		if policy == conc.Collect {
+			analysis.RenderErrorSummary(os.Stdout, run)
+		}
 	}
 
 	if *dotFile != "" {
@@ -134,6 +148,7 @@ func main() {
 	}
 	if *outage != "" {
 		analysis.RenderOutage(os.Stdout, run, *outage)
+		errorFooter()
 		return
 	}
 	if *csvFigure != "" {
@@ -150,6 +165,7 @@ func main() {
 	}
 	if name != "" {
 		renderers[name](run)
+		errorFooter()
 		return
 	}
 	fmt.Printf("depscope: third-party dependency analysis (scale %d, seed %d)\n", *scale, *seed)
@@ -157,6 +173,7 @@ func main() {
 	if err := analysis.RenderValidation(os.Stdout, run); err != nil {
 		log.Fatal(err)
 	}
+	errorFooter()
 	fmt.Println()
 	renderHospitals(*seed)
 	fmt.Println()

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"depscope/internal/alexa"
+	"depscope/internal/conc"
 	"depscope/internal/core"
 	"depscope/internal/measure"
 	"depscope/internal/resolver"
@@ -71,11 +72,13 @@ func main() {
 // audit runs the DNS-only measurement over the wire and writes the report.
 func audit(ctx context.Context, w io.Writer, server string, list alexa.List, threshold, workers, topN int) error {
 	r := resolver.New(resolver.NewUDPTransport(server))
+	// Live measurements hit plenty of dead domains: collect errors instead
+	// of failing the audit on the first one.
 	res, err := measure.Run(ctx, list.Domains(), measure.Config{
 		Resolver:               r,
 		ConcentrationThreshold: threshold,
 		Workers:                workers,
-		SkipUnresolvable:       true,
+		ErrorPolicy:            conc.Collect,
 	})
 	if err != nil {
 		return err
@@ -128,7 +131,11 @@ func audit(ctx context.Context, w io.Writer, server string, list alexa.List, thr
 			fmt.Fprintf(w, "  %-30s %d sites\n", t.name, t.n)
 		}
 	}
-	queries, hits := r.Stats()
-	fmt.Fprintf(w, "resolver: %d lookups, %d cache hits\n", queries, hits)
+	stats := res.Diagnostics.Resolver
+	fmt.Fprintf(w, "resolver: %d lookups, %d cache hits (%.1f%%)\n",
+		stats.Queries, stats.Hits, 100*stats.HitRate())
+	if errs := res.Diagnostics.TotalErrors(); errs > 0 {
+		fmt.Fprintf(w, "measurement errors: %d (sites kept as uncharacterized)\n", errs)
+	}
 	return nil
 }

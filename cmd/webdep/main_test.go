@@ -28,8 +28,8 @@ func TestAuditAgainstLiveServer(t *testing.T) {
 	defer srv.Close()
 
 	list := alexa.FromDomains(world.Sites[:40])
-	// Include a domain outside all authority: SkipUnresolvable must keep
-	// the run alive and report it as unknown.
+	// Include a domain outside all authority: the Collect error policy must
+	// keep the run alive and report it as unknown.
 	list = append(list, alexa.Entry{Rank: 41, Domain: "not-in-this-world.example"})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -1,38 +1,66 @@
 #!/bin/sh
-# Runs the provider-metrics benchmarks (Figure 5/6 renders and the batched
-# C_p/I_p engine microbenchmarks) with -benchmem and converts the output to
-# BENCH_metrics.json at the repo root. Usage: ./docs/bench.sh [benchtime]
+# Benchmark driver.
+#
+#   ./docs/bench.sh [suite] [benchtime]
+#
+# suite "metrics" (default "all") runs the provider-metrics benchmarks
+# (Figure 5/6 renders and the batched C_p/I_p engine microbenchmarks) and
+# rewrites BENCH_metrics.json at the repo root. Suite "pipeline" runs the
+# staged measurement pipeline benchmark (BenchmarkMeasureRun, scale 10K)
+# and APPENDS one JSON record per benchmark, stamped with the run time, to
+# BENCH_pipeline.json — keeping a history so pipeline regressions show up
+# across commits. Suite "all" runs both.
 set -eu
 
 cd "$(dirname "$0")/.."
-benchtime="${1:-1s}"
-out=BENCH_metrics.json
+suite="${1:-all}"
+benchtime="${2:-1s}"
+
+# bench_json RAWFILE: convert `go test -bench` output to a stream of JSON
+# objects, one per benchmark line (no surrounding array).
+bench_json() {
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = ""; bytes = ""; allocs = ""
+		for (i = 2; i <= NF; i++) {
+			if ($(i) == "ns/op")     ns = $(i - 1)
+			if ($(i) == "B/op")      bytes = $(i - 1)
+			if ($(i) == "allocs/op") allocs = $(i - 1)
+		}
+		if (ns == "") next
+		printf "{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+		if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+		if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+		print "}"
+	}
+	' "$1"
+}
+
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' \
-	-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch' \
-	-benchmem -benchtime "$benchtime" ./... | tee "$raw"
+if [ "$suite" = "metrics" ] || [ "$suite" = "all" ]; then
+	out=BENCH_metrics.json
+	go test -run '^$' \
+		-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch' \
+		-benchmem -benchtime "$benchtime" ./... | tee "$raw"
+	{
+		echo "["
+		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
+		echo "]"
+	} > "$out"
+	echo "wrote $out"
+fi
 
-awk '
-BEGIN { print "["; n = 0 }
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	ns = ""; bytes = ""; allocs = ""
-	for (i = 2; i <= NF; i++) {
-		if ($(i) == "ns/op")     ns = $(i - 1)
-		if ($(i) == "B/op")      bytes = $(i - 1)
-		if ($(i) == "allocs/op") allocs = $(i - 1)
-	}
-	if (ns == "") next
-	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
-	if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
-	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-	printf "}"
-}
-END { print "\n]" }
-' "$raw" > "$out"
-
-echo "wrote $out"
+if [ "$suite" = "pipeline" ] || [ "$suite" = "all" ]; then
+	out=BENCH_pipeline.json
+	# One iteration of the full 10K-site pipeline is the unit of interest;
+	# -benchtime 2x keeps the suite bounded while still averaging a warm run.
+	go test -run '^$' -bench 'BenchmarkMeasureRun' \
+		-benchmem -benchtime 2x ./internal/measure/ | tee "$raw"
+	stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+	bench_json "$raw" | sed "s/^{/{\"utc\": \"$stamp\", /" >> "$out"
+	echo "appended to $out"
+fi

@@ -34,6 +34,34 @@ func Report(w io.Writer, run *Run) {
 
 func pct(f float64) string { return fmt.Sprintf("%5.1f%%", 100*f) }
 
+// RenderErrorSummary prints the per-snapshot pipeline diagnostics: per-stage
+// progress and error counters, the resolver cache hit-rate, and (under
+// conc.Collect) a sample of the recorded per-site errors. It is the
+// error-summary footer of cmd/depscope.
+func RenderErrorSummary(w io.Writer, run *Run) {
+	header(w, "Pipeline diagnostics")
+	for _, sd := range []*SnapshotData{run.Y2016, run.Y2020} {
+		if sd == nil {
+			continue
+		}
+		d := sd.Results.Diagnostics
+		fmt.Fprintf(w, "%s: resolver %d lookups, %.1f%% cache hits\n",
+			sd.Snapshot, d.Resolver.Queries, 100*d.Resolver.HitRate())
+		for _, st := range d.Stages {
+			fmt.Fprintf(w, "  %-13s %7d processed  %6d errors\n", st.Stage, st.Sites, st.Errors)
+		}
+		const sample = 5
+		for i, e := range d.Errors {
+			if i == sample {
+				fmt.Fprintf(w, "  ... and %d more recorded errors\n",
+					len(d.Errors)-sample+d.ErrorsTruncated)
+				break
+			}
+			fmt.Fprintf(w, "  %s [%s]: %s\n", e.Site, e.Stage, e.Err)
+		}
+	}
+}
+
 func header(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n", title)
 	for range title {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"depscope/internal/conc"
 	"depscope/internal/core"
 	"depscope/internal/ecosystem"
 	"depscope/internal/measure"
@@ -42,6 +43,10 @@ type Options struct {
 	Workers int
 	// ConcentrationThreshold overrides the §3.1 cutoff; 0 means 50.
 	ConcentrationThreshold int
+	// ErrorPolicy is handed to the measurement pipeline: conc.FailFast (the
+	// zero value) aborts a snapshot on the first per-site error, conc.Collect
+	// tolerates failures and reports them in Results.Diagnostics.
+	ErrorPolicy conc.Policy
 	// Snapshots limits the run; nil means both.
 	Snapshots []ecosystem.Snapshot
 	// Progress, when set, receives one line per phase (generation, per-
@@ -81,32 +86,27 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 	if snaps == nil {
 		snaps = []ecosystem.Snapshot{ecosystem.Y2016, ecosystem.Y2020}
 	}
-	// The snapshots are independent: measure them in parallel.
-	type outcome struct {
-		snap ecosystem.Snapshot
-		sd   *SnapshotData
-		err  error
-	}
-	results := make(chan outcome, len(snaps))
-	for _, snap := range snaps {
-		go func(snap ecosystem.Snapshot) {
-			sd, err := measureSnapshot(ctx, u, snap, opts)
-			if err == nil {
-				progress("measured %s: %d sites, %d distinct nameserver domains",
-					snap, len(sd.Results.Sites), len(sd.Results.NSConcentration))
-			}
-			results <- outcome{snap, sd, err}
-		}(snap)
-	}
-	for range snaps {
-		o := <-results
-		if o.err != nil {
-			return nil, fmt.Errorf("analysis: snapshot %s: %w", o.snap, o.err)
+	// The snapshots are independent: fan them out over the shared pool (one
+	// worker per snapshot — the measurement itself parallelizes inside).
+	measured := make([]*SnapshotData, len(snaps))
+	err = conc.ForEach(ctx, len(snaps), len(snaps), conc.FailFast, func(ctx context.Context, i int) error {
+		sd, err := measureSnapshot(ctx, u, snaps[i], opts)
+		if err != nil {
+			return fmt.Errorf("analysis: snapshot %s: %w", snaps[i], err)
 		}
-		if o.snap == ecosystem.Y2016 {
-			run.Y2016 = o.sd
+		progress("measured %s: %d sites, %d distinct nameserver domains",
+			snaps[i], len(sd.Results.Sites), len(sd.Results.NSConcentration))
+		measured[i] = sd
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sd := range measured {
+		if sd.Snapshot == ecosystem.Y2016 {
+			run.Y2016 = sd
 		} else {
-			run.Y2020 = o.sd
+			run.Y2020 = sd
 		}
 	}
 	return run, nil
@@ -121,6 +121,7 @@ func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.
 		CDNMap:                 measure.CDNMap(w.CNAMEToCDN),
 		Workers:                opts.Workers,
 		ConcentrationThreshold: opts.ConcentrationThreshold,
+		ErrorPolicy:            opts.ErrorPolicy,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,171 @@
+// Package conc provides the one bounded, context-aware worker pool shared by
+// the measurement, metrics and analysis layers. It replaces the three
+// hand-rolled pools that used to live in measure.forEach, the metrics-engine
+// level sweep and the analysis snapshot fan-out, so every layer gets the same
+// clamping, cancellation and error semantics.
+package conc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Policy selects how ForEach treats item errors.
+type Policy int
+
+const (
+	// FailFast stops dispatching new items after the first error and
+	// returns that first error alone. Items already in flight finish; their
+	// errors, if any, are dropped — the caller asked for the first one.
+	FailFast Policy = iota
+	// Collect runs every item regardless of failures and returns all item
+	// errors joined (errors.Join) in item order, or nil when every item
+	// succeeded.
+	Collect
+)
+
+// String names the policy as accepted by ParsePolicy.
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "failfast"
+	case Collect:
+		return "collect"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts a flag value ("failfast", "collect") into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "failfast", "":
+		return FailFast, nil
+	case "collect":
+		return Collect, nil
+	}
+	return FailFast, fmt.Errorf("conc: unknown error policy %q (want failfast or collect)", s)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0,n) across at most workers
+// goroutines. Work items are claimed from a shared cursor, so uneven item
+// costs balance across workers. Any workers value < 1 means GOMAXPROCS, and
+// the pool never spawns more goroutines than items.
+//
+// Cancellation is prompt: once ctx is done, no new items are dispatched and
+// ForEach returns an error satisfying errors.Is(err, ctx.Err()) after the
+// in-flight items return. Under FailFast a prior item error takes precedence
+// over the cancellation error.
+func ForEach(ctx context.Context, n, workers int, policy Policy, fn func(context.Context, int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu      sync.Mutex
+		next    int
+		stopped bool
+		first   error // first item error under FailFast
+		errs    []error
+	)
+	if policy == Collect {
+		errs = make([]error, n)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				if next >= n || stopped {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					if policy == Collect {
+						errs[i] = err
+					} else {
+						if first == nil {
+							first = err
+						}
+						stopped = true
+					}
+					mu.Unlock()
+					if policy == FailFast {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if policy == FailFast {
+		if first != nil {
+			return first
+		}
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append([]error{err}, errs...)
+	}
+	return errors.Join(errs...)
+}
+
+// Do runs fn(i) for every i in [0,n) across at most workers goroutines — the
+// error-free, context-free variant for pure CPU-bound fan-out (the metrics
+// engine's per-level sweeps). workers < 1 means GOMAXPROCS; with one worker
+// (or one item) the loop runs inline without spawning goroutines.
+func Do(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,176 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1, 4, 100} {
+		var n atomic.Int64
+		seen := make([]atomic.Bool, 50)
+		err := ForEach(context.Background(), 50, workers, FailFast, func(_ context.Context, i int) error {
+			n.Add(1)
+			seen[i].Store(true)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d items, want 50", workers, n.Load())
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("workers=%d: item %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, FailFast, nil); err != nil {
+		t.Fatalf("empty ForEach: %v", err)
+	}
+}
+
+func TestForEachFailFastReturnsFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1000, 4, FailFast, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	// Fail-fast must stop dispatch well before the end of the range.
+	if ran.Load() == 1000 {
+		t.Error("fail-fast ran every item")
+	}
+}
+
+func TestForEachCollectJoinsAllErrors(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 100, 8, Collect, func(_ context.Context, i int) error {
+		ran.Add(1)
+		switch i {
+		case 3:
+			return errA
+		case 97:
+			return errB
+		}
+		return nil
+	})
+	if ran.Load() != 100 {
+		t.Fatalf("Collect ran %d items, want all 100", ran.Load())
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error %v must contain both %v and %v", err, errA, errB)
+	}
+}
+
+func TestForEachCollectErrorOrderIsItemOrder(t *testing.T) {
+	err := ForEach(context.Background(), 20, 8, Collect, func(_ context.Context, i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("item %02d", i)
+		}
+		return nil
+	})
+	want := ""
+	for i := 1; i < 20; i += 2 {
+		if want != "" {
+			want += "\n"
+		}
+		want += fmt.Sprintf("item %02d", i)
+	}
+	if err == nil || err.Error() != want {
+		t.Fatalf("joined error out of item order:\ngot:\n%v\nwant:\n%s", err, want)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	for _, policy := range []Policy{FailFast, Collect} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		done := make(chan error, 1)
+		go func() {
+			done <- ForEach(ctx, 1_000_000, 4, policy, func(ctx context.Context, i int) error {
+				if started.Add(1) == 8 {
+					cancel()
+				}
+				time.Sleep(10 * time.Microsecond)
+				return nil
+			})
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%v: err = %v, want context.Canceled", policy, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%v: ForEach did not return promptly after cancel", policy)
+		}
+		if started.Load() > 1000 {
+			t.Errorf("%v: %d items dispatched after cancellation", policy, started.Load())
+		}
+		cancel()
+	}
+}
+
+func TestForEachFailFastErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sentinel := errors.New("boom")
+	err := ForEach(ctx, 100, 2, FailFast, func(_ context.Context, i int) error {
+		if i == 0 {
+			cancel()
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the item error to win over cancellation", err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 64} {
+		var mu sync.Mutex
+		sum := 0
+		Do(100, workers, func(i int) {
+			mu.Lock()
+			sum += i
+			mu.Unlock()
+		})
+		if sum != 4950 {
+			t.Fatalf("workers=%d: sum = %d, want 4950", workers, sum)
+		}
+	}
+	Do(0, 4, func(int) { t.Fatal("Do ran an item for n=0") })
+}
+
+func TestPolicyString(t *testing.T) {
+	if FailFast.String() != "failfast" || Collect.String() != "collect" {
+		t.Error("Policy.String mismatch")
+	}
+	if _, err := ParsePolicy("collect"); err != nil {
+		t.Error(err)
+	}
+	if p, err := ParsePolicy(""); err != nil || p != FailFast {
+		t.Errorf("empty policy = %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted bogus")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+
+	"depscope/internal/conc"
 )
 
 // This file implements the batched provider-metrics engine. The per-provider
@@ -331,7 +333,7 @@ func (e *MetricsEngine) propagate(via uint8, critical bool) map[string]int {
 	}
 	for _, comps := range byLevel {
 		cs := comps
-		parallelDo(len(cs), workers, func(i int) { process(cs[i]) })
+		conc.Do(len(cs), workers, func(i int) { process(cs[i]) })
 	}
 
 	out := make(map[string]int, n)
@@ -411,42 +413,6 @@ func tarjanSCC(n int, adj [][]int32) (comp []int32, ncomp int) {
 type sccFrame struct {
 	v  int32
 	ei int
-}
-
-// parallelDo runs fn(0..n-1) across at most workers goroutines. Work items
-// are claimed from a shared cursor so uneven component sizes balance.
-func parallelDo(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var (
-		mu   sync.Mutex
-		next int
-		wg   sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // bitset is a fixed-width set over site indices.

@@ -68,7 +68,7 @@ func (m *measurer) classifySiteCDN(ctx context.Context, site string) (SiteCDN, e
 			return out, err
 		}
 		for _, name := range chain {
-			if cdn, _, ok := m.cfg.CDNMap.Match(name); ok {
+			if cdn, _, ok := m.cdn.Match(name); ok {
 				if _, seen := found[cdn]; !seen {
 					found[cdn] = evidence{cname: publicsuffix.Normalize(name)}
 				}

@@ -1,0 +1,87 @@
+package measure
+
+import (
+	"sort"
+	"strings"
+
+	"depscope/internal/publicsuffix"
+)
+
+// CDNMap maps CNAME suffixes to CDN display names (§3.3's self-populated
+// map).
+type CDNMap map[string]string
+
+// Match returns the CDN whose suffix covers name. Suffixes are normalized
+// like the name, the longest suffix wins, and ties — equal-length suffixes,
+// or distinct raw keys normalizing to the same suffix — break
+// lexicographically by suffix then CDN name, so attribution never depends on
+// map iteration order.
+//
+// Match compiles the map on every call; the pipeline compiles once at Run
+// start and matches against the compiled form (Match sits on the per-page-
+// host hot path).
+func (m CDNMap) Match(name string) (cdn, suffix string, ok bool) {
+	return m.compile().Match(name)
+}
+
+// compiledCDNMap is a CDNMap with every suffix pre-normalized and ordered
+// for first-match-wins lookup, built once per Run.
+type compiledCDNMap struct {
+	rules []cdnRule
+	// shortest maps CDN name → its shortest raw suffix (the zone apex the
+	// inter-service pass probes); length ties break lexicographically so the
+	// choice never depends on map iteration order.
+	shortest map[string]string
+}
+
+type cdnRule struct {
+	suffix string // normalized
+	dotted string // "." + suffix, precomputed for HasSuffix
+	name   string
+}
+
+// compile normalizes every suffix once. Distinct raw keys that normalize to
+// the same suffix collapse to the lexicographically smallest CDN name, and
+// rules are ordered longest-suffix-first (ties by suffix), so a linear scan
+// returning the first hit reproduces Match's documented tie-breaks exactly:
+// two distinct equal-length suffixes can never both cover one name.
+func (m CDNMap) compile() *compiledCDNMap {
+	bySuffix := make(map[string]string, len(m))
+	shortest := make(map[string]string, len(m))
+	for raw, name := range m {
+		s := publicsuffix.Normalize(raw)
+		if s == "" {
+			continue
+		}
+		if cur, ok := bySuffix[s]; !ok || name < cur {
+			bySuffix[s] = name
+		}
+		if cur, ok := shortest[name]; !ok ||
+			len(raw) < len(cur) || (len(raw) == len(cur) && raw < cur) {
+			shortest[name] = raw
+		}
+	}
+	c := &compiledCDNMap{shortest: shortest, rules: make([]cdnRule, 0, len(bySuffix))}
+	for s, name := range bySuffix {
+		c.rules = append(c.rules, cdnRule{suffix: s, dotted: "." + s, name: name})
+	}
+	sort.Slice(c.rules, func(i, j int) bool {
+		a, b := c.rules[i].suffix, c.rules[j].suffix
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		return a < b
+	})
+	return c
+}
+
+// Match is the hot-path lookup: first rule that covers name wins.
+func (c *compiledCDNMap) Match(name string) (cdn, suffix string, ok bool) {
+	name = publicsuffix.Normalize(name)
+	for _, r := range c.rules {
+		if name == r.suffix || strings.HasSuffix(name, r.dotted) {
+			return r.name, r.suffix, true
+		}
+	}
+	return "", "", false
+}

@@ -55,3 +55,40 @@ func TestRunNegativeWorkers(t *testing.T) {
 		t.Errorf("measured %d sites, want %d", len(res.Sites), len(w.Sites))
 	}
 }
+
+// TestRunResolverHitRateStable: the resolver's Stats snapshot must agree
+// between the live handle and the Diagnostics copy, and the cache must
+// absorb most of the pipeline's lookups — SOA and concentration probes
+// revisit the same provider zones constantly, so a low hit-rate means the
+// cache (or the counters) broke. The exact hit count may vary with worker
+// interleaving (concurrent misses on one key both go to the transport), so
+// the assertion is a band, not an equality.
+func TestRunResolverHitRateStable(t *testing.T) {
+	u, err := ecosystem.Generate(ecosystem.Options{Scale: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ecosystem.Materialize(u, ecosystem.Y2020)
+	r := w.NewResolver()
+	res, err := Run(context.Background(), w.Sites, Config{
+		Resolver: r,
+		Certs:    w.Certs,
+		Pages:    w,
+		CDNMap:   CDNMap(w.CNAMEToCDN),
+		Workers:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := r.Stats()
+	diag := res.Diagnostics.Resolver
+	if live != diag {
+		t.Errorf("live stats %+v != diagnostics snapshot %+v", live, diag)
+	}
+	if diag.Queries == 0 || diag.Hits >= diag.Queries {
+		t.Fatalf("implausible stats %+v", diag)
+	}
+	if rate := diag.HitRate(); rate < 0.5 || rate >= 1 {
+		t.Errorf("cache hit rate = %.3f, want within [0.5, 1)", rate)
+	}
+}

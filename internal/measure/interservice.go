@@ -2,8 +2,10 @@ package measure
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
+	"depscope/internal/conc"
 	"depscope/internal/core"
 	"depscope/internal/publicsuffix"
 )
@@ -18,15 +20,15 @@ import (
 // Private per-site infrastructure on its own registrable domain (alias
 // CDNs, alias PKI domains) is measured the same way, which is how the
 // paper's "additional websites" with hidden dependencies surface.
+//
+// The providers are independent, so the pass fans out over the shared conc
+// pool; results land in order-independent maps, so the run stays
+// deterministic. Under conc.Collect a provider whose classification fails is
+// recorded and omitted instead of aborting the run.
 func (m *measurer) interService(ctx context.Context, res *Results) error {
-	// Reverse the CDN map: name → representative suffix (shortest, so we
-	// land on the zone apex).
-	cdnSuffix := make(map[string]string)
-	for suffix, name := range m.cfg.CDNMap {
-		if cur, ok := cdnSuffix[name]; !ok || len(suffix) < len(cur) {
-			cdnSuffix[name] = suffix
-		}
-	}
+	// CDN name → representative suffix (shortest, so we land on the zone
+	// apex), precomputed at compile time.
+	cdnSuffix := m.cdn.shortest
 
 	// Collect the provider population observed in the site pass.
 	cdns := make(map[string]bool)
@@ -57,37 +59,94 @@ func (m *measurer) interService(ctx context.Context, res *Results) error {
 	}
 
 	// CDN → DNS.
-	for cdn := range cdns {
+	cdnList := sortedKeys(cdns)
+	cdnDeps := make([]*ProviderDep, len(cdnList))
+	err := conc.ForEach(ctx, len(cdnList), m.cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
+		cdn := cdnList[i]
 		suffix, ok := cdnSuffix[cdn]
 		if !ok {
-			continue
+			return nil
 		}
 		apex := publicsuffix.RegistrableDomain(suffix)
 		if apex == "" {
 			apex = suffix
 		}
 		cls, deps, err := m.classifyOwnerDNS(ctx, apex, res.NSConcentration)
+		m.diag.observe(stageInterService, err)
 		if err != nil {
-			return err
+			if m.cfg.ErrorPolicy == conc.Collect {
+				m.diag.record(cdn, stageInterService, err)
+				return nil
+			}
+			return fmt.Errorf("interservice %s dns: %w", cdn, err)
 		}
-		res.CDNToDNS[cdn] = ProviderDep{Provider: cdn, Service: core.DNS, Class: cls, Deps: deps}
+		cdnDeps[i] = &ProviderDep{Provider: cdn, Service: core.DNS, Class: cls, Deps: deps}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, dep := range cdnDeps {
+		if dep != nil {
+			res.CDNToDNS[cdnList[i]] = *dep
+		}
 	}
 
 	// CA → DNS and CA → CDN.
-	for ca, hosts := range caHosts {
+	caList := make([]string, 0, len(caHosts))
+	for ca := range caHosts {
+		caList = append(caList, ca)
+	}
+	sort.Strings(caList)
+	caDNSDeps := make([]*ProviderDep, len(caList))
+	caCDNDeps := make([]*ProviderDep, len(caList))
+	err = conc.ForEach(ctx, len(caList), m.cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
+		ca := caList[i]
 		cls, deps, err := m.classifyOwnerDNS(ctx, ca, res.NSConcentration)
+		m.diag.observe(stageInterService, err)
 		if err != nil {
-			return err
+			if m.cfg.ErrorPolicy == conc.Collect {
+				m.diag.record(ca, stageInterService, err)
+			} else {
+				return fmt.Errorf("interservice %s dns: %w", ca, err)
+			}
+		} else {
+			caDNSDeps[i] = &ProviderDep{Provider: ca, Service: core.DNS, Class: cls, Deps: deps}
 		}
-		res.CAToDNS[ca] = ProviderDep{Provider: ca, Service: core.DNS, Class: cls, Deps: deps}
 
-		cdnCls, cdnDeps, err := m.classifyCACDN(ctx, ca, hosts)
+		cdnCls, cdnDeps, err := m.classifyCACDN(ctx, ca, caHosts[ca])
+		m.diag.observe(stageInterService, err)
 		if err != nil {
-			return err
+			if m.cfg.ErrorPolicy == conc.Collect {
+				m.diag.record(ca, stageInterService, err)
+				return nil
+			}
+			return fmt.Errorf("interservice %s cdn: %w", ca, err)
 		}
-		res.CAToCDN[ca] = ProviderDep{Provider: ca, Service: core.CDN, Class: cdnCls, Deps: cdnDeps}
+		caCDNDeps[i] = &ProviderDep{Provider: ca, Service: core.CDN, Class: cdnCls, Deps: cdnDeps}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range caList {
+		if caDNSDeps[i] != nil {
+			res.CAToDNS[caList[i]] = *caDNSDeps[i]
+		}
+		if caCDNDeps[i] != nil {
+			res.CAToCDN[caList[i]] = *caCDNDeps[i]
+		}
 	}
 	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // classifyOwnerDNS classifies the nameserver arrangement of a domain that
@@ -150,7 +209,7 @@ func (m *measurer) classifyCACDN(ctx context.Context, ca string, hosts []string)
 			continue
 		}
 		for _, name := range chain {
-			cdn, _, ok := m.cfg.CDNMap.Match(name)
+			cdn, _, ok := m.cdn.Match(name)
 			if !ok || seen[cdn] {
 				continue
 			}

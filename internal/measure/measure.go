@@ -9,17 +9,25 @@
 // map. It never touches generator ground truth; validation against planted
 // labels lives in the test suite, mirroring the paper's manually verified
 // 100-site samples.
+//
+// Structurally the pipeline is a staged runtime: pass 1 resolves every
+// site's NS set (the concentration signal needs the full population), pass 2
+// visits each site exactly once and dispatches it through the registered
+// Stage classifiers (DNS, CA, CDN), and pass 3 measures provider-to-provider
+// dependencies. All fan-out goes through the shared internal/conc pool, and
+// Config.ErrorPolicy decides whether a per-site failure aborts the run
+// (conc.FailFast) or yields an uncharacterized SiteResult plus a recorded
+// error in Results.Diagnostics (conc.Collect) — the paper itself tolerates
+// dead domains and partial data ("13.5% uncharacterized pairs").
 package measure
 
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"strings"
-	"sync"
 
 	"depscope/internal/certs"
+	"depscope/internal/conc"
 	"depscope/internal/core"
 	"depscope/internal/publicsuffix"
 	"depscope/internal/resolver"
@@ -37,33 +45,6 @@ type PageSource interface {
 	Page(site string) *webpage.Page
 }
 
-// CDNMap maps CNAME suffixes to CDN display names (§3.3's self-populated
-// map).
-type CDNMap map[string]string
-
-// Match returns the CDN whose suffix covers name. Suffixes are normalized
-// like the name, the longest suffix wins, and ties — equal-length suffixes,
-// or distinct raw keys normalizing to the same suffix — break
-// lexicographically by suffix then CDN name, so attribution never depends on
-// map iteration order.
-func (m CDNMap) Match(name string) (cdn, suffix string, ok bool) {
-	name = publicsuffix.Normalize(name)
-	best, bestCDN := "", ""
-	for raw, c := range m {
-		s := publicsuffix.Normalize(raw)
-		if s == "" || (name != s && !strings.HasSuffix(name, "."+s)) {
-			continue
-		}
-		switch {
-		case len(s) > len(best),
-			len(s) == len(best) && s < best,
-			s == best && c < bestCDN:
-			best, bestCDN = s, c
-		}
-	}
-	return bestCDN, best, best != ""
-}
-
 // Config parameterizes a measurement run.
 type Config struct {
 	// Resolver answers DNS questions.
@@ -78,10 +59,14 @@ type Config struct {
 	ConcentrationThreshold int
 	// Workers bounds concurrency; any value < 1 means GOMAXPROCS.
 	Workers int
-	// SkipUnresolvable makes sites whose NS lookup fails outright come back
-	// as uncharacterized instead of failing the run — live measurements over
-	// real resolvers hit plenty of dead domains.
-	SkipUnresolvable bool
+	// ErrorPolicy decides what a per-site measurement failure does. The zero
+	// value, conc.FailFast, aborts the run on the first error — the right
+	// default for the deterministic in-process world, where any error is a
+	// bug. conc.Collect instead marks the affected site uncharacterized,
+	// records the error in Results.Diagnostics, and keeps going — the right
+	// mode for live measurements over real resolvers, which hit plenty of
+	// dead domains (this generalizes the former SkipUnresolvable flag).
+	ErrorPolicy conc.Policy
 	// DisableSAN / DisableSOA / DisableConcentration switch individual rules
 	// of the combined DNS heuristic off, for the ablation experiments that
 	// quantify each rule's contribution.
@@ -174,6 +159,9 @@ type Results struct {
 	CDNToDNS map[string]ProviderDep
 	CAToDNS  map[string]ProviderDep
 	CAToCDN  map[string]ProviderDep
+	// Diagnostics reports per-stage progress counters, resolver cache
+	// statistics and — under conc.Collect — the recorded per-site errors.
+	Diagnostics Diagnostics
 }
 
 // PairStats summarizes (website, nameserver) pair classification.
@@ -209,47 +197,41 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	if cfg.ConcentrationThreshold == 0 {
 		cfg.ConcentrationThreshold = 50
 	}
-	// Clamp, don't special-case zero: a negative value must not reach the
-	// worker-spawn loop (where it would degrade to a single worker at best).
-	if cfg.Workers < 1 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+	m := &measurer{
+		cfg:    cfg,
+		cdn:    cfg.CDNMap.compile(),
+		stages: defaultStages(),
+		diag:   newDiagCollector(),
 	}
-	m := &measurer{cfg: cfg}
 
 	// Pass 1: NS sets for every site (needed for the concentration signal).
 	nsSets, err := m.collectNS(ctx, sites)
 	if err != nil {
 		return nil, err
 	}
-	conc := concentration(nsSets)
+	concSignal := concentration(nsSets)
 
 	res := &Results{
-		NSConcentration: conc,
+		NSConcentration: concSignal,
 		CDNToDNS:        make(map[string]ProviderDep),
 		CAToDNS:         make(map[string]ProviderDep),
 		CAToCDN:         make(map[string]ProviderDep),
 	}
 
-	// Pass 2: per-site classification.
+	// Pass 2: per-site classification — one visit per site, dispatched
+	// through every registered stage.
 	res.Sites = make([]SiteResult, len(sites))
-	err = m.forEach(ctx, len(sites), func(ctx context.Context, i int) error {
-		site := sites[i]
-		sr := SiteResult{Site: site, Rank: i + 1}
-		var err error
-		sr.DNS, err = m.classifySiteDNS(ctx, site, nsSets[i], conc)
-		if err != nil {
-			return fmt.Errorf("site %s dns: %w", site, err)
+	err = conc.ForEach(ctx, len(sites), cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
+		sc := &SiteContext{
+			Site:   sites[i],
+			Rank:   i + 1,
+			NS:     nsSets[i],
+			Conc:   concSignal,
+			Result: &res.Sites[i],
+			m:      m,
 		}
-		sr.CA, err = m.classifySiteCA(ctx, site)
-		if err != nil {
-			return fmt.Errorf("site %s ca: %w", site, err)
-		}
-		sr.CDN, err = m.classifySiteCDN(ctx, site)
-		if err != nil {
-			return fmt.Errorf("site %s cdn: %w", site, err)
-		}
-		res.Sites[i] = sr
-		return nil
+		sc.Result.Site, sc.Result.Rank = sc.Site, sc.Rank
+		return m.dispatch(ctx, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -278,64 +260,49 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	if err := m.interService(ctx, res); err != nil {
 		return nil, err
 	}
+	res.Diagnostics = m.diag.snapshot(m.stageOrder(), cfg.Resolver.Stats())
 	return res, nil
 }
 
 type measurer struct {
-	cfg Config
+	cfg    Config
+	cdn    *compiledCDNMap
+	stages []Stage
+	diag   *diagCollector
 }
 
-// forEach runs fn(i) for i in [0,n) over the worker pool, failing fast.
-func (m *measurer) forEach(ctx context.Context, n int, fn func(context.Context, int) error) error {
-	workers := m.cfg.Workers
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		errs []error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= n || len(errs) > 0 {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := fn(ctx, i); err != nil {
-					mu.Lock()
-					errs = append(errs, err)
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return errs[0]
+// dispatch runs one site through every stage. Under conc.FailFast the first
+// stage error aborts; under conc.Collect the failing stage's sub-result is
+// left uncharacterized (the stage resets it before returning the error), the
+// error is recorded, and the remaining stages still run — a dead domain must
+// not cost the site its CA or CDN measurement, let alone the whole run.
+func (m *measurer) dispatch(ctx context.Context, sc *SiteContext) error {
+	for _, st := range m.stages {
+		err := st.ClassifySite(ctx, sc)
+		m.diag.observe(st.Name(), err)
+		if err == nil {
+			continue
+		}
+		if m.cfg.ErrorPolicy == conc.Collect {
+			m.diag.record(sc.Site, st.Name(), err)
+			continue
+		}
+		return fmt.Errorf("site %s %s: %w", sc.Site, st.Name(), err)
 	}
 	return nil
 }
 
-// collectNS performs the NS pass.
+// collectNS performs the NS pass (stage "resolve"). Under conc.Collect an
+// unresolvable site keeps a nil NS set — the DNS stage then reports it
+// uncharacterized — and the error is recorded instead of aborting the run.
 func (m *measurer) collectNS(ctx context.Context, sites []string) ([][]string, error) {
 	out := make([][]string, len(sites))
-	err := m.forEach(ctx, len(sites), func(ctx context.Context, i int) error {
+	err := conc.ForEach(ctx, len(sites), m.cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
 		ns, err := m.cfg.Resolver.NS(ctx, sites[i])
+		m.diag.observe(stageResolve, err)
 		if err != nil {
-			if m.cfg.SkipUnresolvable {
+			if m.cfg.ErrorPolicy == conc.Collect {
+				m.diag.record(sites[i], stageResolve, err)
 				out[i] = nil
 				return nil
 			}

@@ -1,0 +1,93 @@
+package measure
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"depscope/internal/ecosystem"
+)
+
+// pinnedView is the measurement output subject to the pinning guarantee: the
+// refactor of Run into the staged pipeline (conc pool, Stage dispatch,
+// compiled CDN map, parallel inter-service pass) must not change a single
+// byte of it for healthy runs under conc.FailFast. Diagnostics are
+// deliberately excluded — they are new observability, not measurement
+// output.
+type pinnedView struct {
+	Sites           []SiteResult
+	NSConcentration map[string]int
+	PairStats       PairStats
+	EvidenceCounts  map[string]int
+	CDNToDNS        map[string]ProviderDep
+	CAToDNS         map[string]ProviderDep
+	CAToCDN         map[string]ProviderDep
+}
+
+func measurementHash(t *testing.T, res *Results) string {
+	t.Helper()
+	view := pinnedView{
+		Sites:           res.Sites,
+		NSConcentration: res.NSConcentration,
+		PairStats:       res.PairStats,
+		EvidenceCounts:  res.EvidenceCounts,
+		CDNToDNS:        res.CDNToDNS,
+		CAToDNS:         res.CAToDNS,
+		CAToCDN:         res.CAToCDN,
+	}
+	// encoding/json sorts map keys, and every slice in the view is
+	// deterministically ordered by the pipeline, so the encoding is canonical.
+	b, err := json.Marshal(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// goldenHashes were captured from the pre-refactor monolithic pipeline
+// (commit d94cf9a: measure.forEach + three per-site passes) at scale 2000,
+// workers 8. They pin Run's FailFast output bit-for-bit across the staged
+// runtime refactor, for both seeds and both snapshots.
+var goldenHashes = map[int64]map[ecosystem.Snapshot]string{
+	1: {
+		ecosystem.Y2016: "4480bc76fd462ea4cc29d450482e89f7982ef9d60f33aeae66d2067858242d7d",
+		ecosystem.Y2020: "911a51ba69f62febca5bb7bd2bdae075d72768fc43de04eb767b472e79630d5b",
+	},
+	2020: {
+		ecosystem.Y2016: "2caf382b8abcba8042fb12d12df6ff02340662f2456c2d700f4266dbb3956007",
+		ecosystem.Y2020: "794bde30a967e1329fe19ba8554252b71d59c7e20321ae486bbeec142ebb3323",
+	},
+}
+
+// TestRunPinnedAgainstPreRefactor proves the staged pipeline is a structural
+// refactor, not a behavior change: under FailFast its full measurement
+// output is byte-identical to the pre-refactor code path for seeds {1, 2020}
+// at scale 2K, for both snapshots.
+func TestRunPinnedAgainstPreRefactor(t *testing.T) {
+	for seed, wantBySnap := range goldenHashes {
+		u, err := ecosystem.Generate(ecosystem.Options{Scale: 2000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for snap, want := range wantBySnap {
+			w := ecosystem.Materialize(u, snap)
+			res, err := Run(context.Background(), w.Sites, Config{
+				Resolver: w.NewResolver(),
+				Certs:    w.Certs,
+				Pages:    w,
+				CDNMap:   CDNMap(w.CNAMEToCDN),
+				Workers:  8,
+			})
+			if err != nil {
+				t.Fatalf("seed %d snap %s: %v", seed, snap, err)
+			}
+			if got := measurementHash(t, res); got != want {
+				t.Errorf("seed %d snap %s: measurement hash %s, want pre-refactor %s",
+					seed, snap, got, want)
+			}
+		}
+	}
+}

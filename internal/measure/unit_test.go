@@ -2,7 +2,6 @@ package measure
 
 import (
 	"context"
-	"errors"
 	"strings"
 	"testing"
 
@@ -241,23 +240,6 @@ func TestCDNDetectionMicro(t *testing.T) {
 	}
 	if len(cdn.InternalHosts) != 1 || cdn.InternalHosts[0] != "static.plain.test" {
 		t.Errorf("internal hosts = %v", cdn.InternalHosts)
-	}
-}
-
-func TestForEachPropagatesErrors(t *testing.T) {
-	m := &measurer{cfg: Config{Workers: 4}}
-	sentinel := errors.New("boom")
-	err := m.forEach(context.Background(), 100, func(_ context.Context, i int) error {
-		if i == 37 {
-			return sentinel
-		}
-		return nil
-	})
-	if !errors.Is(err, sentinel) {
-		t.Errorf("forEach error = %v", err)
-	}
-	if err := m.forEach(context.Background(), 0, func(context.Context, int) error { return nil }); err != nil {
-		t.Errorf("empty forEach: %v", err)
 	}
 }
 

@@ -84,11 +84,27 @@ func New(transport Transport, opts ...Option) *Resolver {
 	return r
 }
 
-// Stats returns total lookups and cache hits.
-func (r *Resolver) Stats() (queries, hits int64) {
+// Stats is a point-in-time snapshot of the resolver's query counters.
+type Stats struct {
+	// Queries is the total number of Lookup calls.
+	Queries int64
+	// Hits is how many of them were served from the cache.
+	Hits int64
+}
+
+// HitRate is the fraction of lookups served from cache, 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+// Stats returns a snapshot of the lookup and cache-hit counters.
+func (r *Resolver) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.queries, r.hits
+	return Stats{Queries: r.queries, Hits: r.hits}
 }
 
 // Lookup queries (name, qtype), serving from cache when possible.

@@ -136,8 +136,11 @@ func TestCacheHitAndExpiry(t *testing.T) {
 	if _, err := r.NS(ctx, "twitter.test"); err != nil {
 		t.Fatal(err)
 	}
-	if q, h := r.Stats(); q != 2 || h != 1 {
-		t.Fatalf("stats after repeat: queries=%d hits=%d", q, h)
+	if s := r.Stats(); s.Queries != 2 || s.Hits != 1 {
+		t.Fatalf("stats after repeat: %+v", s)
+	}
+	if rate := r.Stats().HitRate(); rate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", rate)
 	}
 
 	// Advance past the 300s record TTL: next lookup misses.
@@ -145,8 +148,8 @@ func TestCacheHitAndExpiry(t *testing.T) {
 	if _, err := r.NS(ctx, "twitter.test"); err != nil {
 		t.Fatal(err)
 	}
-	if q, h := r.Stats(); q != 3 || h != 1 {
-		t.Fatalf("stats after expiry: queries=%d hits=%d", q, h)
+	if s := r.Stats(); s.Queries != 3 || s.Hits != 1 {
+		t.Fatalf("stats after expiry: %+v", s)
 	}
 }
 
@@ -165,8 +168,8 @@ func TestNegativeCache(t *testing.T) {
 			t.Fatal("expected NXDOMAIN")
 		}
 	}
-	if q, h := r.Stats(); h != 2 {
-		t.Fatalf("negative cache: queries=%d hits=%d", q, h)
+	if s := r.Stats(); s.Hits != 2 {
+		t.Fatalf("negative cache: %+v", s)
 	}
 }
 
@@ -176,8 +179,11 @@ func TestFlushCache(t *testing.T) {
 	r.NS(ctx, "twitter.test")
 	r.FlushCache()
 	r.NS(ctx, "twitter.test")
-	if _, h := r.Stats(); h != 0 {
-		t.Fatalf("hits after flush = %d", h)
+	if s := r.Stats(); s.Hits != 0 {
+		t.Fatalf("hits after flush: %+v", s)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("idle HitRate should be 0")
 	}
 }
 

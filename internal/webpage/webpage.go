@@ -17,9 +17,9 @@ import (
 	"net/url"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
+	"depscope/internal/conc"
 	"depscope/internal/publicsuffix"
 )
 
@@ -295,35 +295,20 @@ func CrawlAll(ctx context.Context, f Fetcher, sites []string, workers int) []Cra
 	if workers <= 0 {
 		workers = 8
 	}
-	if workers > len(sites) {
-		workers = len(sites)
-	}
 	out := make([]CrawlResult, len(sites))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	next := 0
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= len(sites) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := ctx.Err(); err != nil {
-					out[i] = CrawlResult{Site: sites[i], Err: err}
-					continue
-				}
-				page, err := f.Fetch(ctx, sites[i])
-				out[i] = CrawlResult{Site: sites[i], Page: page, Err: err}
+	err := conc.ForEach(ctx, len(sites), workers, conc.Collect, func(ctx context.Context, i int) error {
+		page, ferr := f.Fetch(ctx, sites[i])
+		out[i] = CrawlResult{Site: sites[i], Page: page, Err: ferr}
+		return nil
+	})
+	if err != nil {
+		// Cancellation stops the pool before every site is claimed; the
+		// unclaimed slots still owe the caller a per-site result.
+		for i := range out {
+			if out[i].Site == "" {
+				out[i] = CrawlResult{Site: sites[i], Err: err}
 			}
-		}()
+		}
 	}
-	wg.Wait()
 	return out
 }
