@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-pipeline
+.PHONY: all build test vet fmt examples race verify bench bench-pipeline
 
 all: build test
 
@@ -13,13 +13,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt fails (listing the offenders) when any tracked Go file is not
+# gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# examples compiles every standalone example program.
+examples:
+	$(GO) build ./examples/...
+
 race:
 	$(GO) test -race ./...
 
-# verify is the full pre-merge gate: compile, static checks, the plain
-# suite, and the race-enabled suite (which covers the pipeline cancellation
-# and pool-shutdown tests).
-verify: build vet test race
+# verify is the full pre-merge gate: compile, static checks, formatting,
+# the plain suite, the race-enabled suite (which covers the pipeline
+# cancellation and pool-shutdown tests), and the example builds.
+verify: build vet fmt test race examples
 
 # bench runs the headline metric benchmarks (Figure 5/6 renders plus the
 # batched C_p/I_p engine microbenchmarks) and writes BENCH_metrics.json,

@@ -24,6 +24,7 @@ import (
 	"depscope/internal/analysis"
 	"depscope/internal/casestudy"
 	"depscope/internal/conc"
+	"depscope/internal/telemetry"
 )
 
 func main() {
@@ -40,8 +41,17 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit the experiment summary as JSON instead of text")
 		csvFigure  = flag.String("csv", "", "emit one figure's data series as CSV (figure2..figure4, figure6-dns/cdn/ca, figure7..figure9)")
 		policyStr  = flag.String("error-policy", "failfast", "per-site error policy: failfast aborts on the first measurement error, collect marks the site uncharacterized and reports errors in the summary footer")
+		showTelem  = flag.Bool("telemetry", false, "print the end-of-run telemetry metrics table to stderr")
 	)
 	flag.Parse()
+	if *showTelem {
+		// Written to stderr on every normal exit path so -json/-csv output
+		// stays machine-parseable. Error paths exit via log.Fatal and skip it.
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\ntelemetry (process-wide, end of run):")
+			telemetry.Default.Snapshot().WriteTable(os.Stderr)
+		}()
+	}
 	policy, err := conc.ParsePolicy(*policyStr)
 	if err != nil {
 		log.Fatal(err)

@@ -3,32 +3,65 @@
 // dig, the examples) can interrogate the same world the measurement
 // pipeline analyzes.
 //
+// With -http it additionally serves an operator endpoint exposing the
+// process-wide telemetry registry as Prometheus text (/metrics), expvar
+// (/debug/vars) and the standard pprof profiles (/debug/pprof/). See
+// docs/observability.md.
+//
 // Usage:
 //
-//	depserver [-scale N] [-seed S] [-year 2016|2020] [-addr host:port]
+//	depserver [-scale N] [-seed S] [-year 2016|2020] [-addr host:port] [-http host:port]
 package main
 
 import (
 	"context"
+	"errors"
+	"expvar"
 	"flag"
+	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"depscope/internal/dnsserver"
 	"depscope/internal/dnszone"
 	"depscope/internal/ecosystem"
+	"depscope/internal/telemetry"
+
+	// Blank imports register the metrics of layers depserver does not call
+	// directly, so a scrape of /metrics shows the full catalog (zero-valued
+	// until the corresponding code runs in this process).
+	_ "depscope/internal/analysis"
+	_ "depscope/internal/conc"
+	_ "depscope/internal/measure"
+	_ "depscope/internal/resolver"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("depserver: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the whole server lifecycle so every exit path unwinds through
+// ordinary returns: once listeners are up, errors propagate back here
+// instead of calling log.Fatal mid-flight (which would skip the deferred
+// cleanup and leave the HTTP listener dangling on a DNS failure or vice
+// versa).
+func run() error {
 	var (
 		scale    = flag.Int("scale", 5000, "ranked-list length")
 		seed     = flag.Int64("seed", 2020, "generator seed")
 		year     = flag.Int("year", 2020, "snapshot year (2016 or 2020)")
 		addr     = flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		verbose  = flag.Bool("v", false, "log every query")
 		zonefile = flag.String("zonefile", "", "additionally serve a zone from this RFC 1035 master file")
 		export   = flag.String("export", "", "write the zone of this domain to stdout as a master file and exit")
@@ -39,12 +72,12 @@ func main() {
 	if *year == 2016 {
 		snap = ecosystem.Y2016
 	} else if *year != 2020 {
-		log.Fatalf("unsupported year %d", *year)
+		return fmt.Errorf("unsupported year %d", *year)
 	}
 
 	u, err := ecosystem.Generate(ecosystem.Options{Scale: *scale, Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	world := ecosystem.Materialize(u, snap)
 	log.Printf("materialized %s snapshot: %d sites, %d zones",
@@ -53,22 +86,20 @@ func main() {
 	if *export != "" {
 		z := world.Zones.FindZone(*export)
 		if z == nil {
-			log.Fatalf("no zone of authority for %q", *export)
+			return fmt.Errorf("no zone of authority for %q", *export)
 		}
-		if _, err := z.WriteTo(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		return
+		_, err := z.WriteTo(os.Stdout)
+		return err
 	}
 	if *zonefile != "" {
 		f, err := os.Open(*zonefile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		z, err := dnszone.ParseZone(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		world.Zones.AddZone(z)
 		log.Printf("loaded extra zone %s from %s", z.Origin, *zonefile)
@@ -81,8 +112,60 @@ func main() {
 	srv := dnsserver.New(world.Zones, cfg)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := srv.Run(ctx); err != nil {
-		log.Fatal(err)
+
+	// Bring the admin endpoint up before blocking on the DNS server, but
+	// tie both to the same signal context: whichever fails first cancels
+	// the other, and SIGTERM shuts both down cleanly.
+	errc := make(chan error, 1)
+	if *httpAddr != "" {
+		hs, err := startAdmin(*httpAddr, errc)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			hs.Shutdown(shutCtx)
+		}()
 	}
-	log.Printf("served %d queries", srv.Queries())
+
+	go func() { errc <- srv.Run(ctx) }()
+	select {
+	case err := <-errc:
+		stop() // a listener died; unwind the other one
+		return err
+	case <-ctx.Done():
+		err := <-errc // srv.Run closes on ctx cancellation
+		log.Printf("served %d queries", srv.Queries())
+		return err
+	}
+}
+
+// startAdmin binds httpAddr and serves the telemetry registry (Prometheus
+// text at /metrics), expvar and pprof. Listener errors after startup are
+// reported on errc.
+func startAdmin(httpAddr string, errc chan<- error) (*http.Server, error) {
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listen %s: %w", httpAddr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
+	expvar.Publish("telemetry", expvar.Func(func() any {
+		return telemetry.Default.Snapshot()
+	}))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Handler: mux}
+	log.Printf("admin endpoint on http://%s/metrics (also /debug/vars, /debug/pprof)", ln.Addr())
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- fmt.Errorf("admin serve: %w", err)
+		}
+	}()
+	return hs, nil
 }

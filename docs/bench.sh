@@ -6,10 +6,13 @@
 # suite "metrics" (default "all") runs the provider-metrics benchmarks
 # (Figure 5/6 renders and the batched C_p/I_p engine microbenchmarks) and
 # rewrites BENCH_metrics.json at the repo root. Suite "pipeline" runs the
-# staged measurement pipeline benchmark (BenchmarkMeasureRun, scale 10K)
-# and APPENDS one JSON record per benchmark, stamped with the run time, to
-# BENCH_pipeline.json — keeping a history so pipeline regressions show up
-# across commits. Suite "all" runs both.
+# staged measurement pipeline benchmarks (BenchmarkMeasureRun plus
+# BenchmarkTelemetryOverhead — the same scale-10K workload under its
+# telemetry-budget name; compare its ns/op against the pre-instrumentation
+# BenchmarkMeasureRun record, budget <= 3%) and APPENDS one JSON record per
+# benchmark, stamped with the run time, to BENCH_pipeline.json — keeping a
+# history so pipeline regressions show up across commits. Suite "all" runs
+# both.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -58,7 +61,7 @@ if [ "$suite" = "pipeline" ] || [ "$suite" = "all" ]; then
 	out=BENCH_pipeline.json
 	# One iteration of the full 10K-site pipeline is the unit of interest;
 	# -benchtime 2x keeps the suite bounded while still averaging a warm run.
-	go test -run '^$' -bench 'BenchmarkMeasureRun' \
+	go test -run '^$' -bench 'BenchmarkMeasureRun$|BenchmarkTelemetryOverhead$' \
 		-benchmem -benchtime 2x ./internal/measure/ | tee "$raw"
 	stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 	bench_json "$raw" | sed "s/^{/{\"utc\": \"$stamp\", /" >> "$out"

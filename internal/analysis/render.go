@@ -5,31 +5,47 @@ import (
 	"io"
 
 	"depscope/internal/core"
+	"depscope/internal/telemetry"
 )
+
+// reportSteps lists every table and figure of the evaluation in paper
+// order. Report walks it, timing each step into a per-figure histogram
+// (analysis_<name>_seconds) so a slow aggregation is attributable.
+var reportSteps = []struct {
+	name   string
+	render func(io.Writer, *Run)
+}{
+	{"table1", RenderTable1},
+	{"table2", RenderTable2},
+	{"figure2", RenderFigure2},
+	{"table3", RenderTable3},
+	{"figure3", RenderFigure3},
+	{"table4", RenderTable4},
+	{"figure4", RenderFigure4},
+	{"table5", RenderTable5},
+	{"figure5", RenderFigure5},
+	{"figure5_bands", RenderFigure5Bands},
+	{"figure6", RenderFigure6},
+	{"table6", RenderTable6},
+	{"figure7", RenderFigure7},
+	{"table7", RenderTable7},
+	{"figure8", RenderFigure8},
+	{"table8", RenderTable8},
+	{"figure9", RenderFigure9},
+	{"table9", RenderTable9},
+	{"hidden_deps", RenderHiddenDeps},
+	{"critical_deps", RenderCriticalDeps},
+}
 
 // Report writes every table and figure of the evaluation to w, in paper
 // order. It is the backend of cmd/depscope.
 func Report(w io.Writer, run *Run) {
-	RenderTable1(w, run)
-	RenderTable2(w, run)
-	RenderFigure2(w, run)
-	RenderTable3(w, run)
-	RenderFigure3(w, run)
-	RenderTable4(w, run)
-	RenderFigure4(w, run)
-	RenderTable5(w, run)
-	RenderFigure5(w, run)
-	RenderFigure5Bands(w, run)
-	RenderFigure6(w, run)
-	RenderTable6(w, run)
-	RenderFigure7(w, run)
-	RenderTable7(w, run)
-	RenderFigure8(w, run)
-	RenderTable8(w, run)
-	RenderFigure9(w, run)
-	RenderTable9(w, run)
-	RenderHiddenDeps(w, run)
-	RenderCriticalDeps(w, run)
+	defer telemetry.StartSpan("analysis.report").End()
+	for _, step := range reportSteps {
+		sp := telemetry.StartSpan("analysis." + step.name)
+		step.render(w, run)
+		sp.End()
+	}
 }
 
 func pct(f float64) string { return fmt.Sprintf("%5.1f%%", 100*f) }

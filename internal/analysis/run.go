@@ -14,6 +14,7 @@ import (
 	"depscope/internal/core"
 	"depscope/internal/ecosystem"
 	"depscope/internal/measure"
+	"depscope/internal/telemetry"
 )
 
 // SnapshotData bundles everything derived for one snapshot.
@@ -64,7 +65,10 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 	if opts.Workers < 1 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	defer telemetry.StartSpan("analysis.execute").End()
+	genSpan := telemetry.StartSpan("analysis.generate")
 	u, err := ecosystem.Generate(ecosystem.Options{Scale: opts.Scale, Seed: opts.Seed})
+	genSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +117,7 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 }
 
 func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.Snapshot, opts Options) (*SnapshotData, error) {
+	defer telemetry.StartSpan("analysis.measure_snapshot").End()
 	w := ecosystem.Materialize(u, snap)
 	res, err := measure.Run(ctx, w.Sites, measure.Config{
 		Resolver:               w.NewResolver(),

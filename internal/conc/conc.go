@@ -1,8 +1,18 @@
 // Package conc provides the one bounded, context-aware worker pool shared by
-// the measurement, metrics and analysis layers. It replaces the three
+// the measurement, metrics and analysis layers. It replaces the four
 // hand-rolled pools that used to live in measure.forEach, the metrics-engine
-// level sweep and the analysis snapshot fan-out, so every layer gets the same
-// clamping, cancellation and error semantics.
+// level sweep, the analysis snapshot fan-out and the page crawler, so every
+// layer gets the same clamping, cancellation and error semantics.
+//
+// Because every fan-out in the tree goes through this package, it is also
+// the single point of pool observability: each ForEach/Do call feeds the
+// shared telemetry registry with task counters (conc_tasks_queued_total,
+// conc_tasks_started_total, conc_tasks_done_total), an in-flight gauge, and
+// — for ForEach, whose items do real I/O-shaped work — queue-wait and
+// run-time histograms plus per-policy error counters. See
+// docs/observability.md for the catalog. Telemetry is record-only: nothing
+// in this package branches on a metric value, so pool behaviour (and the
+// measurement output above it) is unaffected.
 package conc
 
 import (
@@ -11,6 +21,24 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"depscope/internal/telemetry"
+)
+
+// Pool metrics, registered once; the per-item hot path is atomic adds only.
+// Do skips the histograms: its items are CPU-bound microtasks (metrics-
+// engine level sweeps) where two extra clock reads per item would be the
+// dominant cost, so it feeds the counters alone.
+var (
+	tasksQueued  = telemetry.Counter("conc_tasks_queued_total", "work items submitted to the shared pool (ForEach and Do)")
+	tasksStarted = telemetry.Counter("conc_tasks_started_total", "work items claimed by a pool worker")
+	tasksDone    = telemetry.Counter("conc_tasks_done_total", "work items that finished running")
+	inflight     = telemetry.Gauge("conc_inflight_tasks", "work items currently executing")
+	errsFailFast = telemetry.Counter("conc_task_errors_failfast_total", "item errors observed under the FailFast policy")
+	errsCollect  = telemetry.Counter("conc_task_errors_collect_total", "item errors observed under the Collect policy")
+	queueWait    = telemetry.Histogram("conc_queue_wait_seconds", "time from ForEach submission to an item being claimed", nil)
+	runTime      = telemetry.Histogram("conc_task_run_seconds", "execution time of one ForEach item", nil)
 )
 
 // Policy selects how ForEach treats item errors.
@@ -68,6 +96,8 @@ func ForEach(ctx context.Context, n, workers int, policy Policy, fn func(context
 	if workers > n {
 		workers = n
 	}
+	tasksQueued.Add(int64(n))
+	submitted := time.Now()
 	var (
 		mu      sync.Mutex
 		next    int
@@ -95,7 +125,20 @@ func ForEach(ctx context.Context, n, workers int, policy Policy, fn func(context
 				i := next
 				next++
 				mu.Unlock()
-				if err := fn(ctx, i); err != nil {
+				start := time.Now()
+				tasksStarted.Inc()
+				queueWait.Observe(start.Sub(submitted).Seconds())
+				inflight.Add(1)
+				err := fn(ctx, i)
+				inflight.Add(-1)
+				runTime.ObserveDuration(time.Since(start))
+				tasksDone.Inc()
+				if err != nil {
+					if policy == Collect {
+						errsCollect.Inc()
+					} else {
+						errsFailFast.Inc()
+					}
 					mu.Lock()
 					if policy == Collect {
 						errs[i] = err
@@ -140,9 +183,12 @@ func Do(n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+	tasksQueued.Add(int64(n))
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			tasksStarted.Inc()
 			fn(i)
+			tasksDone.Inc()
 		}
 		return
 	}
@@ -163,7 +209,9 @@ func Do(n, workers int, fn func(int)) {
 				if i >= n {
 					return
 				}
+				tasksStarted.Inc()
 				fn(i)
+				tasksDone.Inc()
 			}
 		}()
 	}

@@ -1,0 +1,52 @@
+package conc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"depscope/internal/conc"
+)
+
+// ExampleForEach fans 100 items out over 8 workers under the Collect
+// policy: every item runs even though some fail, and the joined error
+// reports each failure in item order.
+func ExampleForEach() {
+	var sum atomic.Int64
+	err := conc.ForEach(context.Background(), 100, 8, conc.Collect, func(_ context.Context, i int) error {
+		if i == 13 {
+			return errors.New("item 13 is unlucky")
+		}
+		sum.Add(int64(i))
+		return nil
+	})
+	fmt.Println("sum:", sum.Load())
+	fmt.Println("err:", err)
+	// Output:
+	// sum: 4937
+	// err: item 13 is unlucky
+}
+
+// ExampleForEach_failFast shows the default policy: the first error stops
+// dispatch and is returned alone.
+func ExampleForEach_failFast() {
+	err := conc.ForEach(context.Background(), 1000, 1, conc.FailFast, func(_ context.Context, i int) error {
+		if i == 3 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	})
+	fmt.Println(err)
+	// Output:
+	// item 3 failed
+}
+
+// ExampleDo is the error-free variant for CPU-bound sweeps.
+func ExampleDo() {
+	squares := make([]int, 5)
+	conc.Do(len(squares), 4, func(i int) { squares[i] = i * i })
+	fmt.Println(squares)
+	// Output:
+	// [0 1 4 9 16]
+}

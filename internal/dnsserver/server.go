@@ -13,12 +13,48 @@ import (
 	"io"
 	"log"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"depscope/internal/dnsmsg"
 	"depscope/internal/dnszone"
+	"depscope/internal/telemetry"
 )
+
+// Server-side telemetry, aggregated across all server instances and served
+// by depserver's /metrics endpoint. Per-rcode counters are pre-registered
+// for every mnemonic the codec knows; an unknown code falls back to the
+// "other" counter rather than minting unbounded names.
+var (
+	telUDPQueries = telemetry.Counter("dnsserver_udp_queries_total", "DNS queries served over UDP")
+	telTCPQueries = telemetry.Counter("dnsserver_tcp_queries_total", "DNS queries served over TCP (AXFR included)")
+	telMalformed  = telemetry.Counter("dnsserver_malformed_packets_total", "packets that failed to parse as DNS queries")
+	telTruncated  = telemetry.Counter("dnsserver_truncated_responses_total", "UDP responses truncated with the TC bit set")
+	telAXFR       = telemetry.Counter("dnsserver_axfr_total", "zone transfers served")
+
+	telRCodes = func() map[dnsmsg.RCode]*telemetry.CounterMetric {
+		m := make(map[dnsmsg.RCode]*telemetry.CounterMetric)
+		for _, rc := range []dnsmsg.RCode{
+			dnsmsg.RCodeSuccess, dnsmsg.RCodeFormatError, dnsmsg.RCodeServerFailure,
+			dnsmsg.RCodeNameError, dnsmsg.RCodeNotImplemented, dnsmsg.RCodeRefused,
+		} {
+			m[rc] = telemetry.Counter(
+				"dnsserver_rcode_"+strings.ToLower(rc.String())+"_total",
+				"responses sent with rcode "+rc.String())
+		}
+		return m
+	}()
+	telRCodeOther = telemetry.Counter("dnsserver_rcode_other_total", "responses sent with an unrecognized rcode")
+)
+
+func countRCode(rc dnsmsg.RCode) {
+	if c, ok := telRCodes[rc]; ok {
+		c.Inc()
+		return
+	}
+	telRCodeOther.Inc()
+}
 
 // maxUDPPayload is the classic DNS UDP limit; larger responses are
 // truncated with TC set so clients retry over TCP. Clients advertising a
@@ -167,6 +203,7 @@ func (s *Server) serveUDP() {
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
+		telUDPQueries.Inc()
 		s.wg.Add(1)
 		go func(pkt []byte, peer *net.UDPAddr) {
 			defer s.wg.Done()
@@ -196,6 +233,7 @@ func (s *Server) packUDP(resp *dnsmsg.Message, limit int) ([]byte, error) {
 	if len(out) <= limit {
 		return out, nil
 	}
+	telTruncated.Inc()
 	trunc := &dnsmsg.Message{Header: resp.Header, Questions: resp.Questions}
 	trunc.Header.Truncated = true
 	return trunc.Pack()
@@ -241,6 +279,7 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, pkt); err != nil {
 			return
 		}
+		telTCPQueries.Inc()
 		if query, err := dnsmsg.Unpack(pkt); err == nil &&
 			!query.Header.Response && len(query.Questions) == 1 &&
 			query.Questions[0].Type == dnsmsg.TypeAXFR {
@@ -293,8 +332,11 @@ func (s *Server) serveAXFR(conn net.Conn, query *dnsmsg.Message) bool {
 		resp := query.Reply()
 		resp.Header.Authoritative = true
 		resp.Header.RCode = dnsmsg.RCodeRefused
+		countRCode(resp.Header.RCode)
 		return writeTCPFrame(conn, resp, s.logf)
 	}
+	telAXFR.Inc()
+	countRCode(dnsmsg.RCodeSuccess)
 	records := zone.AllRecords()
 	records = append(records, zone.SOARecord()) // closing SOA
 	s.logf("dnsserver: AXFR %s (%d records)", q.Name, len(records))
@@ -320,9 +362,11 @@ func (s *Server) serveAXFR(conn net.Conn, query *dnsmsg.Message) bool {
 func (s *Server) respond(pkt []byte) (*dnsmsg.Message, int) {
 	query, err := dnsmsg.Unpack(pkt)
 	if err != nil {
+		telMalformed.Inc()
 		// Can't mirror an ID we couldn't parse; best effort FORMERR if we at
 		// least have a header.
 		if len(pkt) >= 2 {
+			countRCode(dnsmsg.RCodeFormatError)
 			return &dnsmsg.Message{Header: dnsmsg.Header{
 				ID:       uint16(pkt[0])<<8 | uint16(pkt[1]),
 				Response: true,
@@ -351,6 +395,7 @@ func (s *Server) respond(pkt []byte) (*dnsmsg.Message, int) {
 	}
 	s.countQuery()
 	resp := s.store.HandleQuery(query)
+	countRCode(resp.Header.RCode)
 	if limit > maxUDPPayload {
 		// Echo EDNS0 with our own limit, per RFC 6891.
 		resp.SetEDNS0(uint16(maxEDNSPayload))

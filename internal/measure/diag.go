@@ -5,7 +5,14 @@ import (
 	"sync"
 
 	"depscope/internal/resolver"
+	"depscope/internal/telemetry"
 )
+
+// Pipeline-wide telemetry. Per-stage counters are created lazily under the
+// collector lock (stage names are dynamic) and cached per stage entry, so
+// the steady state is one atomic add per observation.
+var uncharacterizedSites = telemetry.Counter("measure_uncharacterized_sites_total",
+	"sites whose DNS measurement ended uncharacterized (dead site or no classifiable pair)")
 
 // maxRecordedErrors caps Diagnostics.Errors so a run over a mostly-dead list
 // (100K sites, live resolver) cannot balloon the result; the per-stage
@@ -57,29 +64,44 @@ type SiteError struct {
 }
 
 // diagCollector accumulates stage counters and errors from concurrent
-// workers.
+// workers, mirroring every observation into the shared telemetry registry
+// (measure_<stage>_sites_total / measure_<stage>_errors_total).
 type diagCollector struct {
 	mu     sync.Mutex
-	stages map[string]*StageDiag
+	stages map[string]*stageEntry
 	errs   []SiteError
 	capped int
 }
 
+// stageEntry pairs the per-run counters with their process-wide telemetry
+// twins, resolved once per stage name.
+type stageEntry struct {
+	diag         StageDiag
+	sitesMetric  *telemetry.CounterMetric
+	errorsMetric *telemetry.CounterMetric
+}
+
 func newDiagCollector() *diagCollector {
-	return &diagCollector{stages: make(map[string]*StageDiag)}
+	return &diagCollector{stages: make(map[string]*stageEntry)}
 }
 
 // observe counts one classification attempt of stage, failed when err != nil.
 func (d *diagCollector) observe(stage string, err error) {
 	d.mu.Lock()
-	sd, ok := d.stages[stage]
+	se, ok := d.stages[stage]
 	if !ok {
-		sd = &StageDiag{Stage: stage}
-		d.stages[stage] = sd
+		se = &stageEntry{
+			diag:         StageDiag{Stage: stage},
+			sitesMetric:  telemetry.Counter("measure_"+stage+"_sites_total", "sites dispatched through the "+stage+" stage"),
+			errorsMetric: telemetry.Counter("measure_"+stage+"_errors_total", "failed classifications in the "+stage+" stage"),
+		}
+		d.stages[stage] = se
 	}
-	sd.Sites++
+	se.diag.Sites++
+	se.sitesMetric.Inc()
 	if err != nil {
-		sd.Errors++
+		se.diag.Errors++
+		se.errorsMetric.Inc()
 	}
 	d.mu.Unlock()
 }
@@ -103,8 +125,8 @@ func (d *diagCollector) snapshot(order []string, rs resolver.Stats) Diagnostics 
 	defer d.mu.Unlock()
 	out := Diagnostics{Resolver: rs, ErrorsTruncated: d.capped}
 	for _, name := range order {
-		if sd, ok := d.stages[name]; ok {
-			out.Stages = append(out.Stages, *sd)
+		if se, ok := d.stages[name]; ok {
+			out.Stages = append(out.Stages, se.diag)
 		} else {
 			out.Stages = append(out.Stages, StageDiag{Stage: name})
 		}

@@ -25,12 +25,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"depscope/internal/certs"
 	"depscope/internal/conc"
 	"depscope/internal/core"
 	"depscope/internal/publicsuffix"
 	"depscope/internal/resolver"
+	"depscope/internal/telemetry"
 	"depscope/internal/webpage"
 )
 
@@ -162,6 +164,15 @@ type Results struct {
 	// Diagnostics reports per-stage progress counters, resolver cache
 	// statistics and — under conc.Collect — the recorded per-site errors.
 	Diagnostics Diagnostics
+	// Telemetry is a snapshot of the process-wide telemetry registry taken
+	// as the run completed: the same counters and latency histograms
+	// depserver serves at /metrics and depscope prints with -telemetry,
+	// handed to library users programmatically. The registry is cumulative
+	// across the process (concurrent snapshot runs share it), so treat the
+	// values as "as of the end of this run", not per-run deltas. Telemetry
+	// never feeds back into measurement: no field above depends on it, and
+	// the pinning test holds byte-identical with telemetry recording.
+	Telemetry telemetry.Snapshot
 }
 
 // PairStats summarizes (website, nameserver) pair classification.
@@ -197,15 +208,19 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	if cfg.ConcentrationThreshold == 0 {
 		cfg.ConcentrationThreshold = 50
 	}
+	defer telemetry.StartSpan("measure.run").End()
 	m := &measurer{
 		cfg:    cfg,
 		cdn:    cfg.CDNMap.compile(),
 		stages: defaultStages(),
 		diag:   newDiagCollector(),
 	}
+	m.initTelemetry()
 
 	// Pass 1: NS sets for every site (needed for the concentration signal).
+	resolvePass := telemetry.StartSpan("measure.resolve_pass")
 	nsSets, err := m.collectNS(ctx, sites)
+	resolvePass.End()
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +235,7 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 
 	// Pass 2: per-site classification — one visit per site, dispatched
 	// through every registered stage.
+	sitePass := telemetry.StartSpan("measure.site_pass")
 	res.Sites = make([]SiteResult, len(sites))
 	err = conc.ForEach(ctx, len(sites), cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
 		sc := &SiteContext{
@@ -233,6 +249,7 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 		sc.Result.Site, sc.Result.Rank = sc.Site, sc.Rank
 		return m.dispatch(ctx, sc)
 	})
+	sitePass.End()
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +257,9 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	// Pair accounting over distinct (site, nameserver) pairs.
 	res.EvidenceCounts = make(map[string]int)
 	for i := range res.Sites {
+		if res.Sites[i].DNS.Class == core.ClassUnknown {
+			uncharacterizedSites.Inc()
+		}
 		for _, pair := range res.Sites[i].DNS.Pairs {
 			res.PairStats.Total++
 			switch pair.Class {
@@ -257,10 +277,14 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	}
 
 	// Pass 3: inter-service dependencies over the discovered providers.
-	if err := m.interService(ctx, res); err != nil {
+	interPass := telemetry.StartSpan("measure.interservice_pass")
+	err = m.interService(ctx, res)
+	interPass.End()
+	if err != nil {
 		return nil, err
 	}
 	res.Diagnostics = m.diag.snapshot(m.stageOrder(), cfg.Resolver.Stats())
+	res.Telemetry = telemetry.Default.Snapshot()
 	return res, nil
 }
 
@@ -269,6 +293,22 @@ type measurer struct {
 	cdn    *compiledCDNMap
 	stages []Stage
 	diag   *diagCollector
+	// stageHists are the per-stage site-latency histograms
+	// (measure_<stage>_seconds), parallel to stages and resolved once per
+	// run so the per-site hot path is a clock read and an atomic observe,
+	// not a registry lookup or span allocation.
+	stageHists  []*telemetry.HistogramMetric
+	resolveHist *telemetry.HistogramMetric
+}
+
+func (m *measurer) initTelemetry() {
+	m.stageHists = make([]*telemetry.HistogramMetric, len(m.stages))
+	for i, st := range m.stages {
+		m.stageHists[i] = telemetry.Histogram("measure_"+st.Name()+"_seconds",
+			"per-site latency of the "+st.Name()+" classifier stage", nil)
+	}
+	m.resolveHist = telemetry.Histogram("measure_resolve_seconds",
+		"per-site latency of the pass-1 NS resolution", nil)
 }
 
 // dispatch runs one site through every stage. Under conc.FailFast the first
@@ -277,8 +317,10 @@ type measurer struct {
 // error is recorded, and the remaining stages still run — a dead domain must
 // not cost the site its CA or CDN measurement, let alone the whole run.
 func (m *measurer) dispatch(ctx context.Context, sc *SiteContext) error {
-	for _, st := range m.stages {
+	for si, st := range m.stages {
+		start := time.Now()
 		err := st.ClassifySite(ctx, sc)
+		m.stageHists[si].ObserveDuration(time.Since(start))
 		m.diag.observe(st.Name(), err)
 		if err == nil {
 			continue
@@ -298,7 +340,9 @@ func (m *measurer) dispatch(ctx context.Context, sc *SiteContext) error {
 func (m *measurer) collectNS(ctx context.Context, sites []string) ([][]string, error) {
 	out := make([][]string, len(sites))
 	err := conc.ForEach(ctx, len(sites), m.cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
+		start := time.Now()
 		ns, err := m.cfg.Resolver.NS(ctx, sites[i])
+		m.resolveHist.ObserveDuration(time.Since(start))
 		m.diag.observe(stageResolve, err)
 		if err != nil {
 			if m.cfg.ErrorPolicy == conc.Collect {

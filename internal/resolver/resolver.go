@@ -4,14 +4,48 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"depscope/internal/dnsmsg"
+	"depscope/internal/telemetry"
 )
 
 // ErrServFail is returned when the authority answered SERVFAIL or REFUSED.
 var ErrServFail = errors.New("resolver: server failure")
+
+// Process-wide telemetry, aggregated across all resolver instances (each
+// snapshot run builds its own resolver; the registry sums them).
+var (
+	telQueries = telemetry.Counter("resolver_queries_total", "DNS lookups issued (all resolver instances)")
+	telHits    = telemetry.Counter("resolver_cache_hits_total", "lookups served from the resolver cache")
+	telMisses  = telemetry.Counter("resolver_cache_misses_total", "lookups that went to the transport")
+)
+
+// lookupHist returns the upstream-latency histogram for one query type,
+// pre-registered for the types the pipeline issues so the miss path does a
+// map read, not a registry registration.
+var lookupHists = map[dnsmsg.Type]*telemetry.HistogramMetric{
+	dnsmsg.TypeNS:    newLookupHist("ns"),
+	dnsmsg.TypeSOA:   newLookupHist("soa"),
+	dnsmsg.TypeA:     newLookupHist("a"),
+	dnsmsg.TypeCNAME: newLookupHist("cname"),
+}
+
+func newLookupHist(rrtype string) *telemetry.HistogramMetric {
+	return telemetry.Histogram("resolver_lookup_"+rrtype+"_seconds",
+		"transport exchange latency of cache-missing "+strings.ToUpper(rrtype)+" lookups", nil)
+}
+
+func lookupHist(qtype dnsmsg.Type) *telemetry.HistogramMetric {
+	if h, ok := lookupHists[qtype]; ok {
+		return h
+	}
+	return telemetry.Histogram("resolver_lookup_other_seconds",
+		"transport exchange latency of cache-missing lookups of uncommon types", nil)
+}
 
 // Result is the outcome of one cached lookup.
 type Result struct {
@@ -45,10 +79,14 @@ type Resolver struct {
 	// maxTTL caps positive cache lifetimes.
 	maxTTL time.Duration
 
-	mu      sync.RWMutex
-	cache   map[cacheKey]cacheEntry
-	queries int64
-	hits    int64
+	mu    sync.RWMutex
+	cache map[cacheKey]cacheEntry
+
+	// Per-instance counters behind Stats, kept off the cache mutex so the
+	// accounting is lock-free; the same events also feed the process-wide
+	// telemetry registry (resolver_queries_total and friends).
+	queries atomic.Int64
+	hits    atomic.Int64
 }
 
 // Option configures a Resolver.
@@ -100,11 +138,12 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Queries)
 }
 
-// Stats returns a snapshot of the lookup and cache-hit counters.
+// Stats returns a snapshot of this instance's lookup and cache-hit
+// counters. It is the per-run, per-resolver view of the same events the
+// process-wide telemetry registry aggregates across instances, and it backs
+// the Diagnostics.Resolver field of measurement results.
 func (r *Resolver) Stats() Stats {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return Stats{Queries: r.queries, Hits: r.hits}
+	return Stats{Queries: r.queries.Load(), Hits: r.hits.Load()}
 }
 
 // Lookup queries (name, qtype), serving from cache when possible.
@@ -112,17 +151,22 @@ func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnsmsg.Type) (
 	key := cacheKey{dnsmsg.CanonicalName(name), qtype}
 	now := r.now()
 
-	r.mu.Lock()
-	r.queries++
-	if e, ok := r.cache[key]; ok && now.Before(e.expires) {
-		r.hits++
-		r.mu.Unlock()
+	r.queries.Add(1)
+	telQueries.Inc()
+	r.mu.RLock()
+	e, ok := r.cache[key]
+	r.mu.RUnlock()
+	if ok && now.Before(e.expires) {
+		r.hits.Add(1)
+		telHits.Inc()
 		return e.res, nil
 	}
-	r.mu.Unlock()
+	telMisses.Inc()
 
 	q := dnsmsg.NewQuery(0, key.name, qtype)
+	exchangeStart := time.Now()
 	resp, err := r.transport.Exchange(ctx, q)
+	lookupHist(qtype).ObserveDuration(time.Since(exchangeStart))
 	if err != nil {
 		return Result{}, err
 	}

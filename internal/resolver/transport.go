@@ -7,6 +7,15 @@
 // ZoneDirect consults a dnszone.Store in-process with identical semantics,
 // which keeps the 100K-site bulk pipeline fast. Tests cross-check that the
 // two paths return the same results.
+//
+// Observability: every resolver instance keeps its own Stats (queries,
+// cache hits — the per-run numbers surfaced in measure.Results.Diagnostics)
+// on a lock-free atomic path, and simultaneously feeds the process-wide
+// telemetry registry: resolver_queries_total, resolver_cache_hits_total,
+// resolver_cache_misses_total, and a per-rrtype upstream-latency histogram
+// (resolver_lookup_ns_seconds etc., recorded only on cache misses, where a
+// transport exchange actually happens). See docs/observability.md for the
+// full catalog.
 package resolver
 
 import (

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample matches one Prometheus text-format sample line: a metric name,
+// an optional {le="..."} label set (the only label this exporter emits), and
+// a float value.
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? ([0-9eE+.infNa-]+)$`)
+
+// TestMetricsEndpointParsesAsPrometheusText serves a populated registry via
+// the /metrics handler over httptest and verifies the body is well-formed
+// text exposition: every line is a comment or a valid sample, TYPE headers
+// precede their samples, histogram buckets are cumulative and consistent
+// with _count, and +Inf buckets are present.
+func TestMetricsEndpointParsesAsPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "requests served").Add(42)
+	r.Gauge("demo_inflight", "in flight").Set(3)
+	h := r.Histogram("demo_latency_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	sp := r.StartSpan("demo.span")
+	sp.End()
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	types := map[string]string{}    // metric name -> declared TYPE
+	samples := map[string]float64{} // full sample key -> value
+	var bucketLines []string
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		name, le, valStr := m[1], m[3], m[4]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := types[base]; !ok {
+			if _, ok := types[name]; !ok {
+				t.Errorf("sample %q has no preceding TYPE header", line)
+			}
+		}
+		key := name
+		if le != "" {
+			key += "{le=" + le + "}"
+			bucketLines = append(bucketLines, line)
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := samples["demo_requests_total"]; got != 42 {
+		t.Errorf("demo_requests_total = %g, want 42", got)
+	}
+	if got := samples["demo_inflight"]; got != 3 {
+		t.Errorf("demo_inflight = %g, want 3", got)
+	}
+	if types["demo_latency_seconds"] != "histogram" {
+		t.Errorf("demo_latency_seconds TYPE = %q, want histogram", types["demo_latency_seconds"])
+	}
+	// Cumulative bucket chain: 1, 2, 3, and +Inf == _count == 4.
+	for key, want := range map[string]float64{
+		"demo_latency_seconds_bucket{le=0.001}": 1,
+		"demo_latency_seconds_bucket{le=0.01}":  2,
+		"demo_latency_seconds_bucket{le=0.1}":   3,
+		"demo_latency_seconds_bucket{le=+Inf}":  4,
+		"demo_latency_seconds_count":            4,
+	} {
+		if got := samples[key]; got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+	if sum := samples["demo_latency_seconds_sum"]; sum < 0.55 || sum > 0.56 {
+		t.Errorf("demo_latency_seconds_sum = %g, want ~0.5555", sum)
+	}
+	// The span's histogram appears under its sanitized name.
+	if _, ok := types["demo_span_seconds"]; !ok {
+		t.Error("span histogram demo_span_seconds missing from exposition")
+	}
+	// Every histogram must end its bucket chain with +Inf.
+	infSeen := map[string]bool{}
+	for _, line := range bucketLines {
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen[line[:strings.Index(line, "_bucket")]] = true
+		}
+	}
+	for name, typ := range types {
+		if typ == "histogram" && !infSeen[name] {
+			t.Errorf("histogram %s has no +Inf bucket", name)
+		}
+	}
+}
