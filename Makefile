@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt examples race verify bench bench-pipeline
+.PHONY: all build test vet fmt examples race golden verify bench bench-pipeline bench-incident
 
 all: build test
 
@@ -26,10 +26,17 @@ examples:
 race:
 	$(GO) test -race ./...
 
+# golden re-runs the Dyn-replay pinning test on its own (-count=1 bypasses
+# the test cache) so an intentional incident-report change surfaces the new
+# hash to pin.
+golden:
+	$(GO) test -run TestDynReplayGolden -count=1 -v ./internal/incident/
+
 # verify is the full pre-merge gate: compile, static checks, formatting,
 # the plain suite, the race-enabled suite (which covers the pipeline
-# cancellation and pool-shutdown tests), and the example builds.
-verify: build vet fmt test race examples
+# cancellation, simulation-abort and pool-shutdown tests), the Dyn-replay
+# golden test, and the example builds.
+verify: build vet fmt test race golden examples
 
 # bench runs the headline metric benchmarks (Figure 5/6 renders plus the
 # batched C_p/I_p engine microbenchmarks) and writes BENCH_metrics.json,
@@ -40,3 +47,8 @@ bench:
 # bench-pipeline runs only the scale-10K measurement pipeline benchmark.
 bench-pipeline:
 	./docs/bench.sh pipeline
+
+# bench-incident runs only the incident-engine sweep benchmark and rewrites
+# BENCH_incident.json.
+bench-incident:
+	./docs/bench.sh incident

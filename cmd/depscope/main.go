@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	depscope [-scale N] [-seed S] [-workers W] [-experiment name]
+//	depscope [-scale N] [-seed S] [-workers W] [-experiment name] [-incident scenario]
 //
 // With -experiment, only the named table/figure is printed (e.g. "table3",
-// "figure5", "figure7").
+// "figure5", "figure7"). With -incident, a what-if outage scenario (a JSON
+// file or a preset such as "dyn-replay") is simulated and its impact report
+// printed instead.
 package main
 
 import (
@@ -24,8 +26,31 @@ import (
 	"depscope/internal/analysis"
 	"depscope/internal/casestudy"
 	"depscope/internal/conc"
+	"depscope/internal/incident"
 	"depscope/internal/telemetry"
 )
+
+// loadScenario resolves the -incident argument: a path to a scenario JSON
+// file, or the name of a built-in preset.
+func loadScenario(arg string) (*incident.Scenario, error) {
+	if _, err := os.Stat(arg); err == nil {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc, err := incident.ParseScenario(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arg, err)
+		}
+		return sc, nil
+	}
+	if sc, ok := incident.Preset(arg); ok {
+		return sc, nil
+	}
+	return nil, fmt.Errorf("unknown incident scenario %q: not a file, and not a preset (%s)",
+		arg, strings.Join(incident.PresetNames(), ", "))
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,6 +65,7 @@ func main() {
 		dotFile    = flag.String("dot", "", "write the 2020 dependency graph in Graphviz format to this file")
 		asJSON     = flag.Bool("json", false, "emit the experiment summary as JSON instead of text")
 		csvFigure  = flag.String("csv", "", "emit one figure's data series as CSV (figure2..figure4, figure6-dns/cdn/ca, figure7..figure9)")
+		incidentIn = flag.String("incident", "", "what-if incident simulation: a scenario JSON file or a preset name (see docs/incidents.md)")
 		policyStr  = flag.String("error-policy", "failfast", "per-site error policy: failfast aborts on the first measurement error, collect marks the site uncharacterized and reports errors in the summary footer")
 		showTelem  = flag.Bool("telemetry", false, "print the end-of-run telemetry metrics table to stderr")
 	)
@@ -55,6 +81,15 @@ func main() {
 	policy, err := conc.ParsePolicy(*policyStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Resolve the scenario before the expensive measurement run so a typo in
+	// a preset name or scenario file fails in milliseconds, not minutes.
+	var scenario *incident.Scenario
+	if *incidentIn != "" {
+		scenario, err = loadScenario(*incidentIn)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	renderers := map[string]func(*analysis.Run){
@@ -158,6 +193,15 @@ func main() {
 	}
 	if *outage != "" {
 		analysis.RenderOutage(os.Stdout, run, *outage)
+		errorFooter()
+		return
+	}
+	if scenario != nil {
+		rep, err := analysis.SimulateIncident(context.Background(), run, scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.WriteText(os.Stdout)
 		errorFooter()
 		return
 	}

@@ -16,13 +16,11 @@ package main
 import (
 	"context"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,12 +29,11 @@ import (
 	"depscope/internal/dnsserver"
 	"depscope/internal/dnszone"
 	"depscope/internal/ecosystem"
-	"depscope/internal/telemetry"
 
 	// Blank imports register the metrics of layers depserver does not call
 	// directly, so a scrape of /metrics shows the full catalog (zero-valued
-	// until the corresponding code runs in this process).
-	_ "depscope/internal/analysis"
+	// until the corresponding code runs in this process). analysis and
+	// incident are imported for real by admin.go.
 	_ "depscope/internal/conc"
 	_ "depscope/internal/measure"
 	_ "depscope/internal/resolver"
@@ -118,7 +115,8 @@ func run() error {
 	// the other, and SIGTERM shuts both down cleanly.
 	errc := make(chan error, 1)
 	if *httpAddr != "" {
-		hs, err := startAdmin(*httpAddr, errc)
+		backend := &incidentBackend{scale: *scale, seed: *seed}
+		hs, err := startAdmin(*httpAddr, backend, errc)
 		if err != nil {
 			return err
 		}
@@ -141,27 +139,15 @@ func run() error {
 	}
 }
 
-// startAdmin binds httpAddr and serves the telemetry registry (Prometheus
-// text at /metrics), expvar and pprof. Listener errors after startup are
-// reported on errc.
-func startAdmin(httpAddr string, errc chan<- error) (*http.Server, error) {
+// startAdmin binds httpAddr and serves the admin mux (see newAdminMux in
+// admin.go). Listener errors after startup are reported on errc.
+func startAdmin(httpAddr string, backend *incidentBackend, errc chan<- error) (*http.Server, error) {
 	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
 		return nil, fmt.Errorf("admin listen %s: %w", httpAddr, err)
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
-	expvar.Publish("telemetry", expvar.Func(func() any {
-		return telemetry.Default.Snapshot()
-	}))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	hs := &http.Server{Handler: mux}
-	log.Printf("admin endpoint on http://%s/metrics (also /debug/vars, /debug/pprof)", ln.Addr())
+	hs := &http.Server{Handler: newAdminMux(backend)}
+	log.Printf("admin endpoint on http://%s/metrics (also /incident, /debug/vars, /debug/pprof)", ln.Addr())
 	go func() {
 		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- fmt.Errorf("admin serve: %w", err)

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"depscope/internal/incident"
+)
+
+// One tiny backend for the whole file: its lazy analysis run is built on
+// the first simulating request and shared after that.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newAdminMux(&incidentBackend{scale: 300, seed: 2020}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestIncidentEndpoint(t *testing.T) {
+	srv := testServer(t)
+
+	// Bare GET lists the presets.
+	code, body := get(t, srv.URL+"/incident")
+	if code != http.StatusOK {
+		t.Fatalf("GET /incident = %d: %s", code, body)
+	}
+	var listing struct {
+		Presets []string `json:"presets"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Presets) == 0 || listing.Presets[0] != "cdn-blackout" {
+		t.Errorf("preset listing = %v", listing.Presets)
+	}
+
+	// A preset simulates; the single-target validation must hold.
+	code, body = get(t, srv.URL+"/incident?preset=dyn-replay")
+	if code != http.StatusOK {
+		t.Fatalf("GET ?preset=dyn-replay = %d: %s", code, body)
+	}
+	var rep incident.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "dyn-replay" || rep.Snapshot != "2016" {
+		t.Errorf("report header = %q/%q", rep.Scenario, rep.Snapshot)
+	}
+	if rep.Validation == nil || !rep.Validation.Match {
+		t.Errorf("dyn-replay validation = %+v", rep.Validation)
+	}
+
+	// Unknown preset: 400 with the available names.
+	code, body = get(t, srv.URL+"/incident?preset=nope")
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "dyn-replay") {
+		t.Errorf("unknown preset = %d: %s", code, body)
+	}
+
+	// POST a custom scenario body.
+	resp, err := http.Post(srv.URL+"/incident", "application/json",
+		strings.NewReader(`{"name":"custom","targets":{"top_k":1,"top_k_service":"dns"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST scenario = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "custom" || len(rep.Stages) != 1 {
+		t.Errorf("custom report = %+v", rep)
+	}
+
+	// POST garbage: 400, not a panic or a 500.
+	resp, err = http.Post(srv.URL+"/incident", "application/json",
+		strings.NewReader(`{"bogus_field":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST garbage = %d: %s", resp.StatusCode, body)
+	}
+
+	// After simulating, the incident metrics must show up in /metrics.
+	code, body = get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{"incident_scenarios_total", "incident_last_down_sites"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestAdminMuxRebuild proves building a second mux in the same process does
+// not panic on the expvar re-publish.
+func TestAdminMuxRebuild(t *testing.T) {
+	srv := testServer(t)
+	code, _ := get(t, srv.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Errorf("GET /debug/vars = %d", code)
+	}
+}

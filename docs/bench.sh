@@ -11,8 +11,10 @@
 # telemetry-budget name; compare its ns/op against the pre-instrumentation
 # BenchmarkMeasureRun record, budget <= 3%) and APPENDS one JSON record per
 # benchmark, stamped with the run time, to BENCH_pipeline.json — keeping a
-# history so pipeline regressions show up across commits. Suite "all" runs
-# both.
+# history so pipeline regressions show up across commits. Suite "incident"
+# runs the incident-engine sweep (top-100 single-provider outages at scale
+# 2K through incident.Sweep) and rewrites BENCH_incident.json. Suite "all"
+# runs all three.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,4 +68,18 @@ if [ "$suite" = "pipeline" ] || [ "$suite" = "all" ]; then
 	stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 	bench_json "$raw" | sed "s/^{/{\"utc\": \"$stamp\", /" >> "$out"
 	echo "appended to $out"
+fi
+
+if [ "$suite" = "incident" ] || [ "$suite" = "all" ]; then
+	out=BENCH_incident.json
+	# One iteration sweeps 100 single-provider scenarios; a handful of
+	# iterations averages warm caches without dragging the suite out.
+	go test -run '^$' -bench 'BenchmarkIncidentSweep$' \
+		-benchmem -benchtime 5x ./internal/incident/ | tee "$raw"
+	{
+		echo "["
+		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
+		echo "]"
+	} > "$out"
+	echo "wrote $out"
 fi

@@ -35,6 +35,7 @@ var reportSteps = []struct {
 	{"table9", RenderTable9},
 	{"hidden_deps", RenderHiddenDeps},
 	{"critical_deps", RenderCriticalDeps},
+	{"dyn_replay", RenderDynReplay},
 }
 
 // Report writes every table and figure of the evaluation to w, in paper

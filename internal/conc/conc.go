@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,8 +68,11 @@ func (p Policy) String() string {
 }
 
 // ParsePolicy converts a flag value ("failfast", "collect") into a Policy.
+// Matching is case-insensitive and ignores surrounding whitespace so shell
+// quoting mishaps ("Collect", " failfast ") still parse; anything else is an
+// error naming the accepted values.
 func ParsePolicy(s string) (Policy, error) {
-	switch s {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "failfast", "":
 		return FailFast, nil
 	case "collect":

@@ -173,4 +173,14 @@ func TestPolicyString(t *testing.T) {
 	if _, err := ParsePolicy("bogus"); err == nil {
 		t.Error("ParsePolicy accepted bogus")
 	}
+	// Case and surrounding whitespace are forgiven; junk inside is not.
+	if p, err := ParsePolicy(" Collect "); err != nil || p != Collect {
+		t.Errorf("' Collect ' = %v, %v", p, err)
+	}
+	if p, err := ParsePolicy("FAILFAST"); err != nil || p != FailFast {
+		t.Errorf("'FAILFAST' = %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("fail fast"); err == nil {
+		t.Error("ParsePolicy accepted 'fail fast'")
+	}
 }

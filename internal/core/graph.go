@@ -138,6 +138,11 @@ type Graph struct {
 	metricsMu      sync.Mutex
 	metricsWorkers int
 	metrics        *MetricsEngine
+
+	// Cached outage simulators (simulate.go), one per traversal key, built
+	// on the metrics engine's view of the graph.
+	simMu sync.Mutex
+	sims  map[uint8]*OutageSim
 }
 
 // NewGraph builds a graph and its indexes.

@@ -233,6 +233,12 @@ func providerDependsCritically(k *Provider, pname string) bool {
 // sweep unioning site bitsets up the DAG, parallel within each depth level.
 func (e *MetricsEngine) propagate(via uint8, critical bool) map[string]int {
 	n := len(e.names)
+	// Degenerate inputs: with no providers or no sites every count is zero.
+	// Return an empty map (lookups yield 0) instead of condensing an empty
+	// graph and allocating a zero-width bitset view per component.
+	if n == 0 || len(e.g.Sites) == 0 {
+		return map[string]int{}
+	}
 	base := e.baseAll
 	if critical {
 		base = e.baseCrit

@@ -1,0 +1,453 @@
+package core
+
+import "sort"
+
+// This file implements the what-if outage simulator underneath
+// internal/incident. Where the metrics engine answers "how many sites does
+// provider p ultimately serve?" (C_p, I_p), the simulator answers the
+// question the Mirai-Dyn incident poses: given a *set* of failed providers,
+// possibly partially degraded, what state does every website end up in?
+//
+// The simulator is built from the metrics engine's precomputed view — the
+// provider id universe and the reverse dependency edges that feed its SCC
+// condensation — so both answer over the identical structure. That makes the
+// headline consistency property hold by construction: with one failed
+// provider at full severity, the set of down sites equals I_p membership and
+// the set of affected (down or degraded) sites equals C_p membership. The
+// property tests in simulate_test.go and internal/incident assert exactly
+// that.
+//
+// Failure propagates along a worklist over the reverse edges, honoring the
+// same TraversalOpts service filter as the C_p/I_p recursion: a provider is
+// woken only through edges whose dependent's service the traversal allows.
+// Provider and site health follow the paper's redundancy semantics:
+//
+//   - a critical arrangement (single third party, or the actor's own private
+//     infrastructure node) is as unhealthy as its unhealthiest provider:
+//     down provider → service lost, degraded provider → service degraded;
+//   - a redundant arrangement (multi-third, private+third) degrades when any
+//     of its providers is unhealthy but never loses the service — the paper
+//     treats redundancy as absolute. The opt-in JointFailures mode (after
+//     Kashaf et al.'s "Fragile Web") lets a multi-third arrangement fail
+//     when ALL of its third parties are down; private+third always keeps
+//     the private fallback.
+//
+// A site is down when any consumed service is lost, degraded when any is
+// impaired, unaffected otherwise. Its resilience score generalizes the §8.3
+// defense metric to outage states: 1 minus the mean penalty over consumed
+// services (lost = 1, degraded = ½, healthy = 0).
+
+// ProviderState is a provider's health during a simulated outage. Order
+// matters: states only ever escalate (up → degraded → down).
+type ProviderState uint8
+
+// Provider health states.
+const (
+	ProviderUp ProviderState = iota
+	ProviderDegraded
+	ProviderDown
+)
+
+// String names the state.
+func (s ProviderState) String() string {
+	switch s {
+	case ProviderUp:
+		return "up"
+	case ProviderDegraded:
+		return "degraded"
+	case ProviderDown:
+		return "down"
+	}
+	return "invalid"
+}
+
+// SiteOutcome classifies one website at the end of a simulated outage.
+type SiteOutcome uint8
+
+// Site outcomes, in escalation order.
+const (
+	// SiteUnaffected: no consumed service touched by the outage.
+	SiteUnaffected SiteOutcome = iota
+	// SiteDegraded: some consumed service impaired (a redundant arrangement
+	// lost capacity, or a partially degraded provider serves it) but none
+	// fully lost.
+	SiteDegraded
+	// SiteDown: at least one consumed service fully lost — the outage
+	// reaches the site through a critical dependency chain.
+	SiteDown
+)
+
+// String names the outcome.
+func (o SiteOutcome) String() string {
+	switch o {
+	case SiteUnaffected:
+		return "unaffected"
+	case SiteDegraded:
+		return "degraded"
+	case SiteDown:
+		return "down"
+	}
+	return "invalid"
+}
+
+// OutageOpts tunes one simulation run.
+type OutageOpts struct {
+	// Severity in (0,1) models a partial outage: targets only degrade
+	// instead of going dark, so nothing downstream can do worse than
+	// degrade. 0 or 1 both mean a full outage.
+	Severity float64
+	// JointFailures enables redundancy exhaustion, beyond the paper's
+	// semantics: a multi-third arrangement whose providers are all down
+	// loses the service. Off, redundancy is absolute (the paper's model,
+	// and the mode whose single-provider runs reproduce I_p exactly).
+	JointFailures bool
+}
+
+// OutageResult is the full outcome of one simulation run.
+type OutageResult struct {
+	// Outcomes is indexed like Graph.Sites.
+	Outcomes []SiteOutcome
+	// Resilience per site: 1 - mean penalty over consumed services
+	// (lost = 1, degraded = 0.5). A site consuming nothing scores 1.
+	Resilience []float64
+	// Direct marks sites with a dependency arrangement listing a target —
+	// the direct victims, versus collateral reached through chains.
+	Direct []bool
+
+	Down, Degraded, Unaffected int
+
+	// LostByService / DegradedByService count sites whose arrangement for
+	// that service was lost (resp. impaired but not lost).
+	LostByService     map[Service]int
+	DegradedByService map[Service]int
+
+	// DownProviders / DegradedProviders list every provider in that state
+	// after the cascade, targets included, sorted.
+	DownProviders     []string
+	DegradedProviders []string
+}
+
+// simArr is one actor's dependency arrangement for one service, resolved to
+// provider ids: the unit the cascade and the site sweep evaluate.
+type simArr struct {
+	svc     Service
+	class   DepClass
+	private bool // a PrivateInfra pseudo-arrangement: critical by construction
+	provs   []int32
+}
+
+// OutageSim is the reusable simulator for one (Graph, TraversalOpts) pair.
+// Construction resolves every dependency arrangement to metric-engine ids
+// once; each Run is then pure integer work. Obtain one via Graph.OutageSim.
+// An OutageSim is safe for concurrent Runs.
+type OutageSim struct {
+	g   *Graph
+	e   *MetricsEngine
+	via uint8
+
+	provArrs [][]simArr // per provider id: the provider's own arrangements
+	siteArrs [][]simArr // per site index: third-party + private arrangements
+	consumed []int      // per site: number of consumed services (resilience denominator)
+}
+
+// OutageSim returns the graph's shared simulator for opts, building it on
+// first use. Like metrics-engine entries, simulators are cached per
+// traversal key — the graph is immutable after NewGraph, so entries never
+// invalidate.
+func (g *Graph) OutageSim(opts TraversalOpts) *OutageSim {
+	key := viaBits(opts)
+	g.simMu.Lock()
+	defer g.simMu.Unlock()
+	if g.sims == nil {
+		g.sims = make(map[uint8]*OutageSim)
+	}
+	s, ok := g.sims[key]
+	if !ok {
+		s = newOutageSim(g, key)
+		g.sims[key] = s
+	}
+	return s
+}
+
+func newOutageSim(g *Graph, via uint8) *OutageSim {
+	// Reuse the metrics engine's provider universe and reverse edges; the
+	// engine is built lazily exactly once per graph.
+	e := g.Metrics()
+	e.initOnce.Do(e.init)
+	s := &OutageSim{g: g, e: e, via: via}
+
+	idsOf := func(names []string) []int32 {
+		out := make([]int32, 0, len(names))
+		for _, n := range names {
+			if id, ok := e.ids[n]; ok {
+				out = append(out, int32(id))
+			}
+		}
+		return out
+	}
+
+	s.provArrs = make([][]simArr, len(e.names))
+	for name, p := range g.Providers {
+		id := e.ids[name]
+		for svc, d := range p.Deps {
+			if !d.Class.UsesThird() {
+				continue
+			}
+			s.provArrs[id] = append(s.provArrs[id], simArr{svc: svc, class: d.Class, provs: idsOf(d.Providers)})
+		}
+	}
+
+	s.siteArrs = make([][]simArr, len(g.Sites))
+	s.consumed = make([]int, len(g.Sites))
+	for i, site := range g.Sites {
+		seen := make(map[Service]bool, len(site.Deps))
+		for svc, d := range site.Deps {
+			if d.Class == ClassNone || d.Class == ClassUnknown {
+				continue
+			}
+			seen[svc] = true
+			if d.Class.UsesThird() {
+				s.siteArrs[i] = append(s.siteArrs[i], simArr{svc: svc, class: d.Class, provs: idsOf(d.Providers)})
+			}
+		}
+		for svc, names := range site.PrivateInfra {
+			if len(names) == 0 {
+				continue
+			}
+			seen[svc] = true
+			s.siteArrs[i] = append(s.siteArrs[i], simArr{svc: svc, class: ClassPrivate, private: true, provs: idsOf(names)})
+		}
+		s.consumed[i] = len(seen)
+	}
+	return s
+}
+
+// HasProvider reports whether name exists in the simulator's provider
+// universe (any name the metrics engine can score, including leaf DNS
+// providers and private-infrastructure nodes).
+func (s *OutageSim) HasProvider(name string) bool {
+	_, ok := s.e.ids[name]
+	return ok
+}
+
+// arrState evaluates one arrangement against the current provider states.
+func arrState(a simArr, st []ProviderState, joint bool) ProviderState {
+	worst, all := ProviderUp, len(a.provs) > 0
+	for _, p := range a.provs {
+		ps := st[p]
+		if ps > worst {
+			worst = ps
+		}
+		if ps != ProviderDown {
+			all = false
+		}
+	}
+	if worst == ProviderUp {
+		return ProviderUp
+	}
+	switch {
+	case a.private || a.class.Critical():
+		// Critical arrangement: as unhealthy as its unhealthiest provider.
+		return worst
+	case a.class == ClassMultiThird && joint && all:
+		// Redundancy exhausted: every third party of the arrangement is down.
+		return ProviderDown
+	default:
+		// Redundant arrangement: impaired, never lost.
+		return ProviderDegraded
+	}
+}
+
+// providerState evaluates a provider node's own health from its
+// arrangements: losing any consumed service takes the provider down (a CDN
+// whose sole DNS provider is dark cannot serve), an impaired service
+// degrades it.
+func (s *OutageSim) providerState(id int32, st []ProviderState, joint bool) ProviderState {
+	worst := ProviderUp
+	for _, a := range s.provArrs[id] {
+		if as := arrState(a, st, joint); as > worst {
+			worst = as
+			if worst == ProviderDown {
+				break
+			}
+		}
+	}
+	return worst
+}
+
+// Run simulates the outage of targets under o and classifies every site.
+// Target names absent from the graph are ignored (they exist nowhere, so
+// nothing depends on them); callers wanting strict validation check
+// HasProvider first.
+func (s *OutageSim) Run(targets []string, o OutageOpts) *OutageResult {
+	n := len(s.e.names)
+	state := make([]ProviderState, n)
+	targetState := ProviderDown
+	if o.Severity > 0 && o.Severity < 1 {
+		targetState = ProviderDegraded
+	}
+	isTarget := make(map[int32]bool, len(targets))
+	var queue []int32
+	for _, t := range targets {
+		id, ok := s.e.ids[t]
+		if !ok {
+			continue
+		}
+		isTarget[int32(id)] = true
+		if state[id] < targetState {
+			state[id] = targetState
+			queue = append(queue, int32(id))
+		}
+	}
+
+	// Worklist cascade over the metrics engine's reverse edges. States only
+	// escalate and each escalation re-enqueues, so the fixpoint handles
+	// provider cycles and converges after at most 2n wakes.
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ed := range s.e.edges[p] {
+			// The same service filter the C_p/I_p recursion applies when
+			// deciding whether to traverse into a dependent provider.
+			if s.via&(1<<uint(ed.svc)) == 0 {
+				continue
+			}
+			k := ed.to
+			if state[k] == ProviderDown {
+				continue
+			}
+			if ns := s.providerState(k, state, o.JointFailures); ns > state[k] {
+				state[k] = ns
+				queue = append(queue, k)
+			}
+		}
+	}
+
+	res := &OutageResult{
+		Outcomes:          make([]SiteOutcome, len(s.g.Sites)),
+		Resilience:        make([]float64, len(s.g.Sites)),
+		Direct:            make([]bool, len(s.g.Sites)),
+		LostByService:     make(map[Service]int),
+		DegradedByService: make(map[Service]int),
+	}
+	for i := range s.g.Sites {
+		// Per-service status: the worst arrangement state of each consumed
+		// service decides whether that service is lost or just impaired.
+		var svcState [numServices]ProviderState
+		var svcSeen [numServices]bool
+		direct := false
+		for _, a := range s.siteArrs[i] {
+			as := arrState(a, state, o.JointFailures)
+			if int(a.svc) < len(svcState) {
+				svcSeen[a.svc] = true
+				if as > svcState[a.svc] {
+					svcState[a.svc] = as
+				}
+			}
+			if !direct {
+				for _, p := range a.provs {
+					if isTarget[p] {
+						direct = true
+						break
+					}
+				}
+			}
+		}
+		res.Direct[i] = direct
+		outcome := SiteUnaffected
+		penalty := 0.0
+		for svc := range svcState {
+			if !svcSeen[svc] {
+				continue
+			}
+			switch svcState[svc] {
+			case ProviderDown:
+				res.LostByService[Service(svc)]++
+				penalty += 1
+				outcome = SiteDown
+			case ProviderDegraded:
+				res.DegradedByService[Service(svc)]++
+				penalty += 0.5
+				if outcome < SiteDegraded {
+					outcome = SiteDegraded
+				}
+			}
+		}
+		res.Outcomes[i] = outcome
+		if s.consumed[i] > 0 {
+			res.Resilience[i] = 1 - penalty/float64(s.consumed[i])
+		} else {
+			res.Resilience[i] = 1
+		}
+		switch outcome {
+		case SiteDown:
+			res.Down++
+		case SiteDegraded:
+			res.Degraded++
+		default:
+			res.Unaffected++
+		}
+	}
+
+	for id, st := range state {
+		switch st {
+		case ProviderDown:
+			res.DownProviders = append(res.DownProviders, s.e.names[id])
+		case ProviderDegraded:
+			res.DegradedProviders = append(res.DegradedProviders, s.e.names[id])
+		}
+	}
+	sort.Strings(res.DownProviders)
+	sort.Strings(res.DegradedProviders)
+	return res
+}
+
+// numServices sizes the per-site service-status scratch arrays; Service
+// values are the canonical 0..len(Services)-1 range.
+const numServices = 3
+
+// ProviderNames returns every provider name the metrics engine (and thus
+// the simulator) knows: declared providers, names sites use as third
+// parties, private-infrastructure nodes and depended-upon names. Sorted.
+func (g *Graph) ProviderNames() []string {
+	e := g.Metrics()
+	e.initOnce.Do(e.init)
+	out := append([]string(nil), e.names...)
+	sort.Strings(out)
+	return out
+}
+
+// ProvidersOfService returns the third-party provider names of svc — the
+// same candidate set TopProviders ranks: names sites use for svc plus
+// declared provider nodes of svc, excluding pure private-infrastructure
+// nodes. Sorted.
+func (g *Graph) ProvidersOfService(svc Service) []string {
+	seen := make(map[string]bool)
+	collect := func(pname string) {
+		if seen[pname] {
+			return
+		}
+		seen[pname] = true
+	}
+	for pname := range g.usersOf[svc] {
+		if p, ok := g.Providers[pname]; ok && p.Service != svc {
+			continue
+		}
+		collect(pname)
+	}
+	for pname, p := range g.Providers {
+		if p.Service != svc {
+			continue
+		}
+		if len(g.privateUsersOf[pname]) > 0 && !g.hasPublicUsers(pname) {
+			continue
+		}
+		collect(pname)
+	}
+	out := make([]string, 0, len(seen))
+	for pname := range seen {
+		out = append(out, pname)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,85 @@
+package incident
+
+import "sort"
+
+// presets are the built-in scenarios, addressable by name from the depscope
+// -incident flag and the depserver /incident endpoint. Each call returns a
+// fresh copy so callers can tweak fields without aliasing.
+var presets = map[string]func() *Scenario{
+	// The paper's motivating incident (§2): the October 2016 Mirai DDoS on
+	// Dyn, replayed against the 2016 snapshot. Twitter-class sites fall
+	// through their private CDNs' hidden Dyn dependency.
+	"dyn-replay": func() *Scenario {
+		return &Scenario{
+			Name:        "dyn-replay",
+			Description: "replay of the 2016 Mirai-Dyn incident: fail Dyn (dynect.net) against the 2016 snapshot",
+			Snapshot:    "2016",
+			Targets:     Targets{Providers: []string{"dynect.net"}},
+		}
+	},
+	// The same incident as it actually unfolded: a partial first wave, then
+	// full loss of service.
+	"dyn-staged": func() *Scenario {
+		return &Scenario{
+			Name:        "dyn-staged",
+			Description: "the Dyn outage as a two-wave timeline: Dyn first, then the next two largest DNS providers",
+			Snapshot:    "2016",
+			Stages: []Stage{
+				{Name: "wave 1: Dyn", Targets: Targets{Providers: []string{"dynect.net"}}},
+				{Name: "wave 2: next DNS giants", Targets: Targets{TopK: 2, TopKService: "dns"}},
+			},
+		}
+	},
+	// Partial degradation of Dyn instead of a blackout.
+	"dyn-partial": func() *Scenario {
+		return &Scenario{
+			Name:        "dyn-partial",
+			Description: "partial Dyn degradation (severity 0.5): nothing goes down, critical users degrade",
+			Snapshot:    "2016",
+			Targets:     Targets{Providers: []string{"dynect.net"}},
+			Severity:    0.5,
+		}
+	},
+	// The concentration worry of §5: the top-3 DNS providers together.
+	"top3-dns": func() *Scenario {
+		return &Scenario{
+			Name:        "top3-dns",
+			Description: "simultaneous outage of the three highest-concentration DNS providers (paper §5: top-3 impact ~40%)",
+			Targets:     Targets{TopK: 3, TopKService: "dns"},
+		}
+	},
+	// Full service blackouts — the catastrophic upper bounds.
+	"dns-blackout": func() *Scenario {
+		return &Scenario{
+			Name:        "dns-blackout",
+			Description: "every third-party DNS provider down at once (upper bound of DNS exposure)",
+			Targets:     Targets{Service: "dns"},
+		}
+	},
+	"cdn-blackout": func() *Scenario {
+		return &Scenario{
+			Name:        "cdn-blackout",
+			Description: "every third-party CDN down at once (upper bound of CDN exposure)",
+			Targets:     Targets{Service: "cdn"},
+		}
+	},
+}
+
+// Preset returns a fresh copy of a built-in scenario.
+func Preset(name string) (*Scenario, bool) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, false
+	}
+	return mk(), true
+}
+
+// PresetNames lists the built-in scenarios, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,164 @@
+// Scale-2K consistency proofs against the measured universe. This file is
+// an external test package so it can drive the full analysis pipeline —
+// analysis imports incident, so these tests cannot live inside it.
+package incident_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"depscope/internal/analysis"
+	"depscope/internal/core"
+	"depscope/internal/incident"
+)
+
+const propScale = 2000
+
+// Measured runs are expensive; share one per seed across the tests.
+var (
+	fixtureMu sync.Mutex
+	fixtures  = map[int64]*analysis.Run{}
+)
+
+func runAt(t testing.TB, seed int64) *analysis.Run {
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if r, ok := fixtures[seed]; ok {
+		return r
+	}
+	run, err := analysis.Execute(context.Background(), analysis.Options{Scale: propScale, Seed: seed})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	fixtures[seed] = run
+	return run
+}
+
+// TestSingleProviderSimulationMatchesImpact is the headline consistency
+// property: for EVERY provider of the measured 2K universe (seeds 1 and
+// 2020, both snapshots), simulating that provider's outage yields exactly
+// the I_p membership as the down-site set and exactly the C_p membership as
+// the affected set.
+func TestSingleProviderSimulationMatchesImpact(t *testing.T) {
+	opts := core.AllIndirect()
+	for _, seed := range []int64{1, 2020} {
+		run := runAt(t, seed)
+		for _, sd := range []*analysis.SnapshotData{run.Y2016, run.Y2020} {
+			g := sd.Graph
+			sim := g.OutageSim(opts)
+			checked := 0
+			for _, name := range g.ProviderNames() {
+				res := sim.Run([]string{name}, core.OutageOpts{})
+				if res.Down != g.Impact(name, opts) {
+					t.Fatalf("seed %d %s %s: simulated %d down, engine I_p = %d",
+						seed, sd.Snapshot, name, res.Down, g.Impact(name, opts))
+				}
+				imp := g.ImpactSet(name, opts)
+				conc := g.ConcentrationSet(name, opts)
+				for i, s := range g.Sites {
+					if (res.Outcomes[i] == core.SiteDown) != imp[s.Name] {
+						t.Fatalf("seed %d %s %s: site %s down=%v but impact membership=%v",
+							seed, sd.Snapshot, name, s.Name,
+							res.Outcomes[i] == core.SiteDown, imp[s.Name])
+					}
+					if (res.Outcomes[i] != core.SiteUnaffected) != conc[s.Name] {
+						t.Fatalf("seed %d %s %s: site %s affected=%v but concentration membership=%v",
+							seed, sd.Snapshot, name, s.Name,
+							res.Outcomes[i] != core.SiteUnaffected, conc[s.Name])
+					}
+				}
+				checked++
+			}
+			if checked == 0 {
+				t.Fatalf("seed %d %s: no providers checked", seed, sd.Snapshot)
+			}
+			t.Logf("seed %d %s: %d providers consistent", seed, sd.Snapshot, checked)
+		}
+	}
+}
+
+// TestScenarioValidationAtScale runs the package-level entry point for the
+// top providers of every service and asserts each report's embedded
+// validation (down set vs I_p) holds on measured data.
+func TestScenarioValidationAtScale(t *testing.T) {
+	run := runAt(t, 2020)
+	g := run.Y2020.Graph
+	for _, svc := range []string{"dns", "cdn", "ca"} {
+		parsed, err := incident.ParseScenario(strings.NewReader(
+			`{"name":"top-` + svc + `","targets":{"top_k":5,"top_k_service":"` + svc + `"}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range g.TopProviders(svcOf(t, svc), core.AllIndirect(), false, 5) {
+			rep, err := incident.Simulate(context.Background(), g, &incident.Scenario{
+				Name:    "validate-" + st.Name,
+				Targets: incident.Targets{Providers: []string{st.Name}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Validation == nil || !rep.Validation.Match {
+				t.Errorf("%s: validation failed: %+v", st.Name, rep.Validation)
+			}
+		}
+		// The parsed multi-target scenario must run cleanly too.
+		if _, err := incident.Simulate(context.Background(), g, parsed); err != nil {
+			t.Errorf("top-5 %s scenario: %v", svc, err)
+		}
+	}
+}
+
+func svcOf(t *testing.T, s string) core.Service {
+	t.Helper()
+	switch s {
+	case "dns":
+		return core.DNS
+	case "cdn":
+		return core.CDN
+	case "ca":
+		return core.CA
+	}
+	t.Fatalf("bad service %s", s)
+	return 0
+}
+
+// dynReplayGolden pins the Dyn-replay preset's full report at scale 2000,
+// seed 2020. encoding/json sorts map keys and every slice in the report is
+// deterministically ordered, so the encoding is canonical. After an
+// intentional report-shape change, rerun
+//
+//	go test ./internal/incident -run TestDynReplayGolden -v
+//
+// and pin the new hash the failure message prints.
+const dynReplayGolden = "d07f4884783655c02bdb3272844d986bc0064f72ab9faaae8bb0e28652097c49"
+
+// TestDynReplayGolden pins the Dyn-replay preset output — the acceptance
+// gate make verify runs explicitly.
+func TestDynReplayGolden(t *testing.T) {
+	run := runAt(t, 2020)
+	rep, err := analysis.DynReplay(context.Background(), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural sanity before the byte pin: Dyn must matter in 2016.
+	f := rep.Final()
+	if f == nil || f.Down == 0 {
+		t.Fatalf("Dyn replay shows no impact: %+v", rep)
+	}
+	if rep.Validation == nil || !rep.Validation.Match {
+		t.Fatalf("Dyn replay validation failed: %+v", rep.Validation)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	if got := hex.EncodeToString(sum[:]); got != dynReplayGolden {
+		t.Errorf("Dyn-replay report hash %s, want pinned %s\nreport:\n%s", got, dynReplayGolden, b)
+	}
+}
