@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt examples race golden verify bench bench-pipeline bench-incident
+.PHONY: all build test vet fmt examples race golden verify alloc-guards bench bench-pipeline bench-incident bench-compare
 
 all: build test
 
@@ -10,6 +10,8 @@ build:
 test:
 	$(GO) test ./...
 
+# vet covers every package in the module, example programs included (they
+# carry no build tags, so the bare invocation reaches them).
 vet:
 	$(GO) vet ./...
 
@@ -32,11 +34,18 @@ race:
 golden:
 	$(GO) test -run TestDynReplayGolden -count=1 -v ./internal/incident/
 
-# verify is the full pre-merge gate: compile, static checks, formatting,
-# the plain suite, the race-enabled suite (which covers the pipeline
-# cancellation, simulation-abort and pool-shutdown tests), the Dyn-replay
-# golden test, and the example builds.
-verify: build vet fmt test race golden examples
+# alloc-guards re-runs the allocation-budget tests on their own (-count=1
+# bypasses the test cache): resolver cache hits, interner hit paths and the
+# compiled CDN-map matcher must stay within their per-op budgets.
+alloc-guards:
+	$(GO) test -run 'Alloc' -count=1 ./internal/resolver/ ./internal/measure/ ./internal/intern/
+
+# verify is the full pre-merge gate: compile, static checks, formatting
+# (gofmt -l walks the whole tree, internal/intern included), the plain
+# suite, the race-enabled suite (which covers the pipeline cancellation,
+# simulation-abort and pool-shutdown tests), the Dyn-replay golden test,
+# the allocation budgets, and the example builds.
+verify: build vet fmt test race golden examples alloc-guards
 
 # bench runs the headline metric benchmarks (Figure 5/6 renders plus the
 # batched C_p/I_p engine microbenchmarks) and writes BENCH_metrics.json,
@@ -52,3 +61,9 @@ bench-pipeline:
 # BENCH_incident.json.
 bench-incident:
 	./docs/bench.sh incident
+
+# bench-compare reruns every recorded benchmark and diffs ns/op against the
+# committed BENCH_*.json records; any benchmark more than 10% slower than
+# its record fails the target. No record file is rewritten.
+bench-compare:
+	./docs/bench.sh compare

@@ -15,6 +15,13 @@
 # runs the incident-engine sweep (top-100 single-provider outages at scale
 # 2K through incident.Sweep) and rewrites BENCH_incident.json. Suite "all"
 # runs all three.
+#
+# Suite "compare" runs every recorded benchmark fresh and diffs its ns/op
+# against the committed BENCH_*.json records (for the append-history
+# pipeline file, against the most recent record per benchmark) without
+# rewriting any of them. A benchmark more than 10% slower than its record
+# fails the comparison; benchmarks present on only one side are reported
+# and skipped.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,6 +52,66 @@ bench_json() {
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
+
+if [ "$suite" = "compare" ]; then
+	go test -run '^$' \
+		-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch' \
+		-benchmem -benchtime "$benchtime" ./... | tee "$raw"
+	go test -run '^$' -bench 'BenchmarkMeasureRun$|BenchmarkTelemetryOverhead$' \
+		-benchmem -benchtime 2x ./internal/measure/ | tee -a "$raw"
+	go test -run '^$' -bench 'BenchmarkIncidentSweep$' \
+		-benchmem -benchtime 5x ./internal/incident/ | tee -a "$raw"
+
+	fresh=$(mktemp)
+	report=$(mktemp)
+	trap 'rm -f "$raw" "$fresh" "$report"' EXIT
+	bench_json "$raw" > "$fresh"
+
+	# Join fresh ns/op against the committed records. Both sides are one
+	# JSON object per line; for the committed side, later lines overwrite
+	# earlier ones, which picks the most recent record out of the pipeline
+	# history file.
+	status=0
+	awk -v freshfile="$fresh" '
+	function field(s, key,    r) {
+		if (!match(s, "\"" key "\": \"?[^,}\"]+")) return ""
+		r = substr(s, RSTART, RLENGTH)
+		sub("^\"" key "\": \"?", "", r)
+		return r
+	}
+	{
+		name = field($0, "name")
+		ns = field($0, "ns_per_op")
+		if (name == "" || ns == "") next
+		if (FILENAME == freshfile) freshns[name] = ns + 0
+		else committed[name] = ns + 0
+	}
+	END {
+		bad = 0
+		for (name in freshns) {
+			if (!(name in committed)) {
+				printf "new        %-55s %14.0f ns/op (no committed record)\n", name, freshns[name]
+				continue
+			}
+			old = committed[name]
+			cur = freshns[name]
+			verdict = "ok"
+			if (cur > old * 1.10) { verdict = "REGRESSED"; bad = 1 }
+			printf "%-10s %-55s %14.0f -> %.0f ns/op (%+.1f%%)\n", verdict, name, old, cur, (cur - old) / old * 100
+		}
+		for (name in committed) {
+			if (!(name in freshns))
+				printf "missing    %-55s committed record was not exercised\n", name
+		}
+		exit bad
+	}
+	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json "$fresh" > "$report" || status=1
+	sort "$report"
+	if [ "$status" -ne 0 ]; then
+		echo "bench compare: ns/op regression above 10%" >&2
+	fi
+	exit "$status"
+fi
 
 if [ "$suite" = "metrics" ] || [ "$suite" = "all" ]; then
 	out=BENCH_metrics.json

@@ -41,6 +41,15 @@ type Certificate struct {
 	Stapled bool
 	// NotBefore and NotAfter bound the validity period.
 	NotBefore, NotAfter time.Time
+
+	// Lazily computed views of the fields above, shared across the three
+	// classifier stages that consult the same certificate for one site. The
+	// cached values are computed from fields that must not change after the
+	// certificate enters a Store.
+	sanOnce sync.Once
+	sanRDs  map[string]bool
+	revOnce sync.Once
+	revIdx  []string
 }
 
 // RevocationURLs returns all revocation-checking endpoints (OCSP then CDP).
@@ -52,19 +61,23 @@ func (c *Certificate) RevocationURLs() []string {
 }
 
 // RevocationHosts returns the distinct hostnames of all revocation URLs in
-// first-seen order.
+// first-seen order. The result is computed once per certificate and shared;
+// callers must not modify it.
 func (c *Certificate) RevocationHosts() []string {
-	seen := make(map[string]bool)
-	var out []string
-	for _, u := range c.RevocationURLs() {
-		h := HostFromURL(u)
-		if h == "" || seen[h] {
-			continue
+	c.revOnce.Do(func() {
+		seen := make(map[string]bool)
+		var out []string
+		for _, u := range c.RevocationURLs() {
+			h := HostFromURL(u)
+			if h == "" || seen[h] {
+				continue
+			}
+			seen[h] = true
+			out = append(out, h)
 		}
-		seen[h] = true
-		out = append(out, h)
-	}
-	return out
+		c.revIdx = out
+	})
+	return c.revIdx
 }
 
 // MatchesSAN reports whether host is covered by the certificate's SAN list,
@@ -81,15 +94,19 @@ func (c *Certificate) MatchesSAN(host string) bool {
 
 // SANRegistrableDomains returns the distinct registrable domains appearing
 // in the SAN list. The paper's heuristics treat every eTLD+1 in a site's SAN
-// list as the same logical entity as the site.
+// list as the same logical entity as the site. The map is computed once per
+// certificate and shared; callers must not modify it.
 func (c *Certificate) SANRegistrableDomains() map[string]bool {
-	out := make(map[string]bool, len(c.SANs))
-	for _, san := range c.SANs {
-		if rd := publicsuffix.RegistrableDomain(san); rd != "" {
-			out[rd] = true
+	c.sanOnce.Do(func() {
+		out := make(map[string]bool, len(c.SANs))
+		for _, san := range c.SANs {
+			if rd := publicsuffix.RegistrableDomain(san); rd != "" {
+				out[rd] = true
+			}
 		}
-	}
-	return out
+		c.sanRDs = out
+	})
+	return c.sanRDs
 }
 
 func sanMatches(san, host string) bool {

@@ -307,13 +307,15 @@ type ProviderStat struct {
 }
 
 // TopProviders ranks the providers of svc by the chosen metric under opts,
-// descending; n <= 0 returns all. Metrics come from the batched engine, so
-// ranking all providers costs one propagation (cached per traversal), not
-// one graph walk per provider.
+// descending; n <= 0 returns all. Metrics come from the engine's per-name
+// queries: at snapshot scale those are lookups into one cached batch
+// propagation, and on small graphs the engine's lazy strategy instead pays
+// one memoized recursive walk per ranked name — either way far cheaper than
+// the seed's unconditional walk per provider per render.
 func (g *Graph) TopProviders(svc Service, opts TraversalOpts, byImpact bool, n int) []ProviderStat {
-	conc, imp := g.Metrics().Counts(opts)
+	m := g.Metrics()
 	return g.topProviders(svc, byImpact, n, func(pname string) (int, int) {
-		return conc[pname], imp[pname]
+		return m.Concentration(pname, opts), m.Impact(pname, opts)
 	})
 }
 

@@ -1,0 +1,91 @@
+package dnsmsg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// appendFixture is a response with enough repeated names to exercise
+// compression pointers.
+func appendFixture() *Message {
+	m := NewQuery(42, "www.example.com.", TypeNS)
+	m.Header.Response = true
+	m.Answers = []Record{
+		{Name: "www.example.com.", Type: TypeNS, Class: ClassIN, TTL: 300, Target: "ns1.example.com."},
+		{Name: "www.example.com.", Type: TypeNS, Class: ClassIN, TTL: 300, Target: "ns2.example.com."},
+	}
+	return m
+}
+
+func TestAppendPackMatchesPack(t *testing.T) {
+	m := appendFixture()
+	plain, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := m.AppendPack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, appended) {
+		t.Fatalf("AppendPack(nil) differs from Pack:\n%x\n%x", plain, appended)
+	}
+}
+
+// TestAppendPackPrefixedOffsets pins that compression pointers stay relative
+// to the message start when dst already holds bytes (the TCP length-prefix
+// case): the message after the prefix must be byte-identical to a standalone
+// Pack and must decode cleanly.
+func TestAppendPackPrefixedOffsets(t *testing.T) {
+	m := appendFixture()
+	plain, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte{0xDE, 0xAD}
+	framed, err := m.AppendPack(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(framed[:2], prefix) {
+		t.Fatal("prefix bytes were clobbered")
+	}
+	if !bytes.Equal(framed[2:], plain) {
+		t.Fatalf("prefixed message differs from standalone pack:\n%x\n%x", plain, framed[2:])
+	}
+	back, err := Unpack(framed[2:])
+	if err != nil {
+		t.Fatalf("prefixed message does not decode: %v", err)
+	}
+	if len(back.Answers) != 2 || back.Answers[1].Target != "ns2.example.com." {
+		t.Fatalf("round-trip lost answers: %+v", back.Answers)
+	}
+}
+
+func TestPacketBufPoolReuse(t *testing.T) {
+	m := appendFixture()
+	bufp := GetPacketBuf()
+	if cap(*bufp) < 512 {
+		t.Fatalf("pooled buffer capacity %d, want >= 512", cap(*bufp))
+	}
+	wire, err := m.AppendPack((*bufp)[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := m.Pack()
+	if !bytes.Equal(wire, plain) {
+		t.Fatal("pooled pack differs from plain pack")
+	}
+	*bufp = wire[:0]
+	PutPacketBuf(bufp)
+	// Reusing the pool must keep producing correct bytes.
+	bufp2 := GetPacketBuf()
+	wire2, err := m.AppendPack((*bufp2)[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire2, plain) {
+		t.Fatal("second pooled pack differs from plain pack")
+	}
+	PutPacketBuf(bufp2)
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"depscope/internal/intern"
 )
 
 // Decoding errors.
@@ -120,9 +122,15 @@ func (d *decoder) name() (string, error) {
 }
 
 // readName decodes the name at off and returns it with the offset of the
-// first byte after the name's in-place representation.
+// first byte after the name's in-place representation. The textual form is
+// assembled in a stack scratch buffer and interned, so decoding the same
+// name again (every record of every response repeats the zone's names) is a
+// map hit, not a fresh allocation.
 func readName(buf []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	// RFC 1035 caps a name at 255 octets; the scratch array covers the
+	// presentation form of any legal name without heap growth.
+	var scratch [256]byte
+	name := scratch[:0]
 	// A message has at most len(buf) pointers; more indicates a loop.
 	maxJumps := len(buf)
 	jumps := 0
@@ -137,11 +145,10 @@ func readName(buf []byte, off int) (string, int, error) {
 			if next < 0 {
 				next = off + 1
 			}
-			name := sb.String()
-			if name == "" {
-				name = "."
+			if len(name) == 0 {
+				return ".", next, nil
 			}
-			return name, next, nil
+			return intern.Bytes(name), next, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(buf) {
 				return "", 0, ErrShortMessage
@@ -166,8 +173,8 @@ func readName(buf []byte, off int) (string, int, error) {
 			if off+1+n > len(buf) {
 				return "", 0, ErrShortMessage
 			}
-			sb.Write(buf[off+1 : off+1+n])
-			sb.WriteByte('.')
+			name = append(name, buf[off+1:off+1+n]...)
+			name = append(name, '.')
 			off += 1 + n
 		}
 	}
@@ -301,9 +308,33 @@ func (d *decoder) decodeRDATA(r *Record, end int) error {
 	return nil
 }
 
+// canonMemo caches the slow normalization path per distinct raw input, with
+// results interned so repeated canonicalizations of the same spelling share
+// one string.
+var canonMemo = intern.NewMemo(canonicalNameSlow)
+
 // CanonicalName lowercases a DNS name and ensures a trailing dot, the form
-// used as map keys throughout the zone store and resolver cache.
+// used as map keys throughout the zone store and resolver cache. Names that
+// are already canonical — lowercase ASCII with a trailing dot, the common
+// case on the measurement hot path — are returned unchanged without
+// allocating.
 func CanonicalName(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c >= 'A' && c <= 'Z') || c <= ' ' || c >= 0x80 {
+			return canonMemo.Get(name)
+		}
+	}
+	if len(name) == 0 {
+		return "."
+	}
+	if name[len(name)-1] != '.' {
+		return canonMemo.Get(name)
+	}
+	return name
+}
+
+func canonicalNameSlow(name string) string {
 	name = strings.ToLower(strings.TrimSpace(name))
 	if name == "" || name == "." {
 		return "."

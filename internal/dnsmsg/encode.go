@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Encoding errors.
@@ -17,22 +18,63 @@ var (
 // encoder serializes a message with RFC 1035 §4.1.4 name compression.
 type encoder struct {
 	buf []byte
-	// ptrs maps a fully-qualified lowercase name suffix to its offset in buf
-	// for compression-pointer reuse. Offsets beyond 0x3FFF cannot be encoded
-	// as pointers and are not stored.
+	// base is the offset in buf where the current message starts;
+	// compression pointers are relative to it.
+	base int
+	// ptrs maps a fully-qualified lowercase name suffix to its
+	// message-relative offset for compression-pointer reuse. Offsets beyond
+	// 0x3FFF cannot be encoded as pointers and are not stored.
 	ptrs map[string]int
+}
+
+// encPool recycles encoders (and their compression-pointer maps) across
+// Pack calls; the serving path packs one response per query and the map was
+// a measurable share of its garbage.
+var encPool = sync.Pool{New: func() any {
+	return &encoder{ptrs: make(map[string]int)}
+}}
+
+// bufPool recycles wire-format buffers for the serving and transport hot
+// paths; see GetPacketBuf.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetPacketBuf returns a reusable wire-format buffer (length 0, capacity at
+// least 512). Pass it to AppendPack and hand it back with PutPacketBuf once
+// the packed bytes have been written out.
+func GetPacketBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutPacketBuf recycles a buffer obtained from GetPacketBuf. The caller
+// must not retain any slice of it afterwards.
+func PutPacketBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
 }
 
 // Pack serializes m into wire format.
 func (m *Message) Pack() ([]byte, error) {
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack serializes m into wire format appended to dst and returns the
+// extended slice, which may have been reallocated. Compression pointers are
+// relative to the start of the appended message, so dst may already hold
+// other bytes (a pooled buffer, a TCP length prefix).
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
 	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
 		len(m.Authority) > 0xFFFF || len(m.Additional) > 0xFFFF {
 		return nil, ErrTooManyRRs
 	}
-	e := &encoder{
-		buf:  make([]byte, 0, 512),
-		ptrs: make(map[string]int),
-	}
+	e := encPool.Get().(*encoder)
+	e.buf = dst
+	e.base = len(dst)
+	clear(e.ptrs)
+	defer func() {
+		e.buf = nil
+		encPool.Put(e)
+	}()
 	e.uint16(m.Header.ID)
 	var flags uint16
 	if m.Header.Response {
@@ -106,8 +148,8 @@ func (e *encoder) name(name string) error {
 			e.uint16(uint16(off) | 0xC000)
 			return nil
 		}
-		if len(e.buf) <= 0x3FFF {
-			e.ptrs[suffix] = len(e.buf)
+		if off := len(e.buf) - e.base; off <= 0x3FFF {
+			e.ptrs[suffix] = off
 		}
 		e.buf = append(e.buf, byte(len(labels[i])))
 		e.buf = append(e.buf, labels[i]...)

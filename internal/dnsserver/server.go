@@ -211,22 +211,27 @@ func (s *Server) serveUDP() {
 			if resp == nil {
 				return
 			}
-			out, err := s.packUDP(resp, limit)
+			bufp := dnsmsg.GetPacketBuf()
+			out, err := s.packUDP(resp, limit, (*bufp)[:0])
 			if err != nil {
 				s.logf("dnsserver: pack: %v", err)
+				dnsmsg.PutPacketBuf(bufp)
 				return
 			}
 			if _, err := s.udp.WriteToUDP(out, peer); err != nil && !s.isClosed() {
 				s.logf("dnsserver: udp write: %v", err)
 			}
+			*bufp = out[:0]
+			dnsmsg.PutPacketBuf(bufp)
 		}(pkt, peer)
 	}
 }
 
-// packUDP serializes resp, truncating to an empty answer with TC set when
-// the packed form exceeds the client's payload limit.
-func (s *Server) packUDP(resp *dnsmsg.Message, limit int) ([]byte, error) {
-	out, err := resp.Pack()
+// packUDP serializes resp into dst (a recycled wire buffer), truncating to
+// an empty answer with TC set when the packed form exceeds the client's
+// payload limit.
+func (s *Server) packUDP(resp *dnsmsg.Message, limit int, dst []byte) ([]byte, error) {
+	out, err := resp.AppendPack(dst)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +241,7 @@ func (s *Server) packUDP(resp *dnsmsg.Message, limit int) ([]byte, error) {
 	telTruncated.Inc()
 	trunc := &dnsmsg.Message{Header: resp.Header, Questions: resp.Questions}
 	trunc.Header.Truncated = true
-	return trunc.Pack()
+	return trunc.AppendPack(out[:0])
 }
 
 func (s *Server) serveTCP() {
@@ -299,23 +304,26 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 	}
 }
 
-// writeTCPFrame packs and writes one length-prefixed message.
+// writeTCPFrame packs and writes one length-prefixed message, reusing a
+// pooled wire buffer for the whole frame (AppendPack keeps compression
+// offsets relative to the message, so packing after the 2-byte prefix is
+// safe).
 func writeTCPFrame(conn net.Conn, m *dnsmsg.Message, logf func(string, ...any)) bool {
-	out, err := m.Pack()
+	bufp := dnsmsg.GetPacketBuf()
+	defer dnsmsg.PutPacketBuf(bufp)
+	frame, err := m.AppendPack(append((*bufp)[:0], 0, 0))
 	if err != nil {
 		logf("dnsserver: tcp pack: %v", err)
 		return false
 	}
-	if len(out) > 0xFFFF {
+	n := len(frame) - 2
+	if n > 0xFFFF {
 		return false
 	}
-	frame := make([]byte, 2+len(out))
-	frame[0], frame[1] = byte(len(out)>>8), byte(len(out))
-	copy(frame[2:], out)
-	if _, err := conn.Write(frame); err != nil {
-		return false
-	}
-	return true
+	frame[0], frame[1] = byte(n>>8), byte(n)
+	_, err = conn.Write(frame)
+	*bufp = frame[:0]
+	return err == nil
 }
 
 // axfrChunk bounds the records per AXFR message so each frame stays well

@@ -27,6 +27,13 @@ type Zone struct {
 
 	mu    sync.RWMutex
 	nodes map[string]map[dnsmsg.Type][]dnsmsg.Record
+
+	// soaRec and soaAuth are the prebuilt apex SOA record and a one-record
+	// authority section wrapping it, shared by every NXDOMAIN/NODATA result
+	// this zone produces. Lookup results are read-only by convention, so the
+	// sharing is invisible to callers and saves two allocations per miss.
+	soaRec  dnsmsg.Record
+	soaAuth []dnsmsg.Record
 }
 
 // NewZone creates a zone rooted at origin with the given SOA data. The SOA
@@ -37,10 +44,12 @@ func NewZone(origin string, soa dnsmsg.SOAData) *Zone {
 		SOA:    soa,
 		nodes:  make(map[string]map[dnsmsg.Type][]dnsmsg.Record),
 	}
-	z.Add(dnsmsg.Record{
+	z.soaRec = dnsmsg.Record{
 		Name: z.Origin, Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassIN, TTL: 3600,
-		SOA: &soa,
-	})
+		SOA: &z.SOA,
+	}
+	z.soaAuth = []dnsmsg.Record{z.soaRec}
+	z.Add(z.soaRec)
 	return z
 }
 
@@ -74,13 +83,27 @@ func (z *Zone) MustAdd(r dnsmsg.Record) {
 	}
 }
 
-// SOARecord returns the apex SOA as a record.
+// SOARecord returns the apex SOA as a record. The record's SOA pointer is
+// shared with the zone; callers must treat it as read-only.
 func (z *Zone) SOARecord() dnsmsg.Record {
+	if z.soaRec.SOA != nil {
+		return z.soaRec
+	}
+	// Zero-value zones (not built through NewZone) fall back to a fresh copy.
 	soa := z.SOA
 	return dnsmsg.Record{
 		Name: z.Origin, Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassIN, TTL: 3600,
 		SOA: &soa,
 	}
+}
+
+// soaAuthority returns the shared one-record authority section holding the
+// apex SOA, allocating only for zones not built through NewZone.
+func (z *Zone) soaAuthority() []dnsmsg.Record {
+	if z.soaAuth != nil {
+		return z.soaAuth
+	}
+	return []dnsmsg.Record{z.SOARecord()}
 }
 
 // lookupNode returns the record set of the node for qname, synthesizing from
@@ -93,13 +116,25 @@ func (z *Zone) lookupNode(qname string) (map[dnsmsg.Type][]dnsmsg.Record, bool) 
 		return types, true
 	}
 	// Wildcard synthesis: replace the leftmost label(s) with "*" walking up.
-	labels := strings.Split(strings.TrimSuffix(qname, "."), ".")
-	for i := 1; i < len(labels); i++ {
-		cand := "*." + strings.Join(labels[i:], ".") + "."
-		if !InBailiwick(cand, z.Origin) {
+	// The candidate "*.<rest>" keys are assembled in a stack scratch buffer
+	// and probed with the compiler's alloc-free map[string] byte-slice index,
+	// so a miss costs no garbage (the seed split qname into fresh labels).
+	var scratch [64]byte
+	key := scratch[:0]
+	rest := qname
+	for {
+		idx := strings.IndexByte(rest, '.')
+		if idx < 0 || idx == len(rest)-1 {
 			break
 		}
-		if types, ok := z.nodes[cand]; ok {
+		rest = rest[idx+1:]
+		// "*.<rest>" is in bailiwick exactly when rest is.
+		if !InBailiwick(rest, z.Origin) {
+			break
+		}
+		key = append(key[:0], '*', '.')
+		key = append(key, rest...)
+		if types, ok := z.nodes[string(key)]; ok {
 			// Synthesize records at qname.
 			out := make(map[dnsmsg.Type][]dnsmsg.Record, len(types))
 			for t, rs := range types {
@@ -155,10 +190,12 @@ func (z *Zone) Names() []string {
 
 // InBailiwick reports whether name is at or below origin (both canonical).
 func InBailiwick(name, origin string) bool {
-	if origin == "." {
+	if origin == "." || name == origin {
 		return true
 	}
-	return name == origin || strings.HasSuffix(name, "."+origin)
+	// Suffix match on ".origin" without materializing the concatenation.
+	n := len(name) - len(origin)
+	return n > 0 && name[n-1] == '.' && name[n:] == origin
 }
 
 // Result is the outcome of an authoritative lookup.
@@ -256,12 +293,12 @@ func (s *Store) Lookup(qname string, qtype dnsmsg.Type) Result {
 		if !exists {
 			if len(res.Answers) > 0 {
 				res.RCode = dnsmsg.RCodeSuccess
-				res.Authority = append(res.Authority, z.SOARecord())
+				res.Authority = z.soaAuthority()
 				return res
 			}
 			return Result{
 				RCode:     dnsmsg.RCodeNameError,
-				Authority: []dnsmsg.Record{z.SOARecord()},
+				Authority: z.soaAuthority(),
 				Zone:      z,
 			}
 		}
@@ -274,7 +311,14 @@ func (s *Store) Lookup(qname string, qtype dnsmsg.Type) Result {
 			return res
 		}
 		if rs, ok := node[qtype]; ok && len(rs) > 0 {
-			res.Answers = append(res.Answers, rs...)
+			if res.Answers == nil {
+				// Plain exact hit (no CNAME prefix): alias the node's record
+				// set rather than copying it. Results are read-only by
+				// convention and this is the hottest path in the store.
+				res.Answers = rs
+			} else {
+				res.Answers = append(res.Answers, rs...)
+			}
 			res.RCode = dnsmsg.RCodeSuccess
 			return res
 		}
@@ -290,7 +334,7 @@ func (s *Store) Lookup(qname string, qtype dnsmsg.Type) Result {
 		}
 		// NODATA.
 		res.RCode = dnsmsg.RCodeSuccess
-		res.Authority = append(res.Authority, z.SOARecord())
+		res.Authority = z.soaAuthority()
 		return res
 	}
 }
@@ -298,22 +342,41 @@ func (s *Store) Lookup(qname string, qtype dnsmsg.Type) Result {
 // HandleQuery produces a complete response message for the first question of
 // query, suitable for a server to send back.
 func (s *Store) HandleQuery(query *dnsmsg.Message) *dnsmsg.Message {
-	resp := query.Reply()
-	resp.Header.Authoritative = true
+	resp := &dnsmsg.Message{}
+	s.AnswerInto(query, resp)
+	return resp
+}
+
+// AnswerInto fills resp with the response to query, overwriting every field,
+// so callers can recycle response messages across exchanges. Unlike
+// query.Reply() the question section is aliased, not copied: the response
+// must not outlive the query it echoes — dnsserver packs it to the wire
+// before reading the next datagram, and resolver.ZoneDirect callers retain
+// only the answer/authority sections — so the alias is safe and saves a
+// slice copy on every exchange.
+func (s *Store) AnswerInto(query, resp *dnsmsg.Message) {
+	resp.Header = dnsmsg.Header{
+		ID:               query.Header.ID,
+		Response:         true,
+		Authoritative:    true,
+		OpCode:           query.Header.OpCode,
+		RecursionDesired: query.Header.RecursionDesired,
+	}
+	resp.Questions = query.Questions
+	resp.Answers, resp.Authority, resp.Additional = nil, nil, nil
 	if query.Header.OpCode != dnsmsg.OpCodeQuery || len(query.Questions) != 1 {
 		resp.Header.RCode = dnsmsg.RCodeNotImplemented
-		return resp
+		return
 	}
 	q := query.Questions[0]
 	if q.Class != dnsmsg.ClassIN && q.Class != dnsmsg.ClassANY {
 		resp.Header.RCode = dnsmsg.RCodeRefused
-		return resp
+		return
 	}
 	r := s.Lookup(q.Name, q.Type)
 	resp.Header.RCode = r.RCode
 	resp.Answers = r.Answers
 	resp.Authority = r.Authority
-	return resp
 }
 
 func sortRecords(rs []dnsmsg.Record) {

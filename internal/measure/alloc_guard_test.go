@@ -1,0 +1,34 @@
+package measure
+
+import "testing"
+
+// TestCompiledCDNMapMatchAllocs guards the per-page-host hot path: matching
+// a canonical (lowercase, trailing-dot) name against a compiled CDN map must
+// cost at most one allocation, hit or miss. Normalize returns substrings for
+// such names and the rule scan itself is allocation-free.
+func TestCompiledCDNMapMatchAllocs(t *testing.T) {
+	m := CDNMap{
+		"fastcdn.test":     "FastCDN",
+		"edgecast.example": "EdgeCast",
+		"cdn.example.net":  "ExampleCDN",
+	}
+	c := m.compile()
+	names := []string{
+		"edge.fastcdn.test.",  // suffix hit
+		"fastcdn.test.",       // exact hit
+		"nomatch.other.test.", // miss
+		"static.edgecast.example.",
+	}
+	// Warm any lazy state (publicsuffix memo entries for these names).
+	for _, n := range names {
+		c.Match(n)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, n := range names {
+			c.Match(n)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("compiled Match allocates %.1f per %d lookups, want <= 1", allocs, len(names))
+	}
+}

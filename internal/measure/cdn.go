@@ -4,11 +4,18 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync"
 
 	"depscope/internal/core"
 	"depscope/internal/publicsuffix"
 	"depscope/internal/resolver"
 )
+
+// foundPool recycles the per-site CDN-evidence scratch map (CDN name → the
+// CNAME that matched it) across dispatch calls.
+var foundPool = sync.Pool{New: func() any {
+	return make(map[string]string, 4)
+}}
 
 // classifySiteCDN applies §3.3: the landing page is reduced to resource
 // hosts; hosts belonging to the site (TLD, SAN or SOA evidence) are its
@@ -60,8 +67,11 @@ func (m *measurer) classifySiteCDN(ctx context.Context, site string) (SiteCDN, e
 	}
 
 	// Detect CDNs on internal-resource CNAME chains.
-	type evidence struct{ cname string }
-	found := make(map[string]evidence)
+	found := foundPool.Get().(map[string]string)
+	defer func() {
+		clear(found)
+		foundPool.Put(found)
+	}()
 	for _, host := range out.InternalHosts {
 		chain, err := m.cfg.Resolver.CNAMEChain(ctx, host)
 		if err != nil && !errors.Is(err, resolver.ErrServFail) {
@@ -70,7 +80,7 @@ func (m *measurer) classifySiteCDN(ctx context.Context, site string) (SiteCDN, e
 		for _, name := range chain {
 			if cdn, _, ok := m.cdn.Match(name); ok {
 				if _, seen := found[cdn]; !seen {
-					found[cdn] = evidence{cname: publicsuffix.Normalize(name)}
+					found[cdn] = publicsuffix.Normalize(name)
 				}
 			}
 		}
@@ -82,8 +92,8 @@ func (m *measurer) classifySiteCDN(ctx context.Context, site string) (SiteCDN, e
 	out.UsesCDN = true
 
 	// Classify each (site, CDN) pair by its matched CNAME.
-	for cdn, ev := range found {
-		cnameRD := publicsuffix.RegistrableDomain(ev.cname)
+	for cdn, cname := range found {
+		cnameRD := publicsuffix.RegistrableDomain(cname)
 		var cls Classification
 		switch {
 		case cnameRD != "" && cnameRD == siteRD:
@@ -91,7 +101,7 @@ func (m *measurer) classifySiteCDN(ctx context.Context, site string) (SiteCDN, e
 		case sanRDs[cnameRD]:
 			cls = Private
 		default:
-			cnSOA, haveCNSOA, err := m.softSOA(ctx, ev.cname)
+			cnSOA, haveCNSOA, err := m.softSOA(ctx, cname)
 			if err != nil {
 				return out, err
 			}

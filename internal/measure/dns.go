@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync"
 
 	"depscope/internal/certs"
 	"depscope/internal/core"
@@ -32,6 +33,7 @@ func (m *measurer) classifySiteDNS(ctx context.Context, site string, nsHosts []s
 		return out, err
 	}
 
+	out.Pairs = make([]NSPair, 0, len(nsHosts))
 	for _, ns := range nsHosts {
 		pair := NSPair{Host: ns, Class: Unknown}
 		nsRD := publicsuffix.RegistrableDomain(ns)
@@ -79,11 +81,21 @@ func entityKey(ns string, soa dnsmsg.SOAData, haveSOA bool) string {
 	return publicsuffix.Normalize(ns)
 }
 
+// entitiesPool recycles the per-call entity-grouping scratch map of
+// reduceDNSPairs across sites and workers.
+var entitiesPool = sync.Pool{New: func() any {
+	return make(map[string]Classification, 8)
+}}
+
 // reduceDNSPairs folds pair classifications into the site's dependency
 // class. Any unknown pair leaves the site uncharacterized (the paper
 // conservatively excludes such sites).
 func reduceDNSPairs(site string, pairs []NSPair) (core.DepClass, []string) {
-	entities := make(map[string]Classification)
+	entities := entitiesPool.Get().(map[string]Classification)
+	defer func() {
+		clear(entities)
+		entitiesPool.Put(entities)
+	}()
 	for _, p := range pairs {
 		if p.Class == Unknown {
 			return core.ClassUnknown, nil

@@ -166,7 +166,7 @@ func (m *measurer) classifyOwnerDNS(ctx context.Context, owner string, conc map[
 	if err != nil {
 		return core.ClassUnknown, nil, err
 	}
-	var pairs []NSPair
+	pairs := make([]NSPair, 0, len(ns))
 	for _, h := range ns {
 		nsRD := publicsuffix.RegistrableDomain(h)
 		nsSOA, haveNSSOA, err := m.softSOA(ctx, h)

@@ -360,11 +360,13 @@ func (m *measurer) collectNS(ctx context.Context, sites []string) ([][]string, e
 }
 
 // concentration counts, per nameserver registrable domain, the number of
-// sites with at least one nameserver there.
+// sites with at least one nameserver there. One scratch set is reused across
+// sites (the loop is sequential) instead of allocating a map per site.
 func concentration(nsSets [][]string) map[string]int {
 	out := make(map[string]int)
+	seen := make(map[string]bool, 8)
 	for _, set := range nsSets {
-		seen := make(map[string]bool, len(set))
+		clear(seen)
 		for _, ns := range set {
 			if rd := publicsuffix.RegistrableDomain(ns); rd != "" && !seen[rd] {
 				seen[rd] = true

@@ -10,7 +10,11 @@
 // exception (!www.ck) rule forms so it behaves like a full implementation.
 package publicsuffix
 
-import "strings"
+import (
+	"strings"
+
+	"depscope/internal/intern"
+)
 
 // List is a compiled set of public-suffix rules.
 type List struct {
@@ -141,10 +145,20 @@ func (l *List) RegistrableDomain(domain string) string {
 	return labels[len(labels)-1] + "." + suffix
 }
 
-// RegistrableDomain extracts the eTLD+1 using the default list. This is the
-// paper's tld(x) primitive.
-func RegistrableDomain(domain string) string {
+// rdMemo caches the default list's eTLD+1 extraction. The pipeline calls
+// tld(x) for every NS host, SAN entry, and CNAME link of every site, but the
+// universe of distinct inputs is the (small) set of hostnames in a run — the
+// split/join work in the generic algorithm dominated the measurement pass's
+// allocation profile before memoization.
+var rdMemo = intern.NewMemo(func(domain string) string {
 	return defaultList.RegistrableDomain(domain)
+})
+
+// RegistrableDomain extracts the eTLD+1 using the default list. This is the
+// paper's tld(x) primitive. Results are memoized per distinct input and
+// interned process-wide.
+func RegistrableDomain(domain string) string {
+	return rdMemo.Get(domain)
 }
 
 // PublicSuffix returns the public suffix of domain using the default list.

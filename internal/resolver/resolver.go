@@ -22,6 +22,10 @@ var (
 	telQueries = telemetry.Counter("resolver_queries_total", "DNS lookups issued (all resolver instances)")
 	telHits    = telemetry.Counter("resolver_cache_hits_total", "lookups served from the resolver cache")
 	telMisses  = telemetry.Counter("resolver_cache_misses_total", "lookups that went to the transport")
+	telDeduped = telemetry.Counter("resolver_singleflight_dedup_total",
+		"lookups that joined an already in-flight transport exchange for the same (name, type)")
+	telShards = telemetry.Gauge("resolver_cache_shards",
+		"cache shard count of the most recently constructed resolver")
 )
 
 // lookupHist returns the upstream-latency histogram for one query type,
@@ -67,7 +71,64 @@ type cacheEntry struct {
 	expires time.Time
 }
 
-// Resolver is a caching stub resolver over a Transport.
+// flight is one in-progress transport exchange. The done channel is created
+// lazily, under the shard lock, by the first waiter that joins the flight —
+// the uncontended miss (the overwhelmingly common case) never pays for it.
+// res/err are written exactly once before done is closed.
+//
+// Flights are recycled through flightPool: refs counts the leader plus every
+// joined waiter, and whoever drops it to zero clears and repools the struct.
+// Waiters join (and increment refs) only under the shard lock while the
+// flight is still in the table, so the count can never hit zero early.
+type flight struct {
+	done chan struct{}
+	refs atomic.Int32
+	res  Result
+	err  error
+}
+
+var flightPool = sync.Pool{New: func() any { return new(flight) }}
+
+// release drops one reference; the last holder resets and repools the
+// flight. Callers must not touch the flight after releasing it.
+func (f *flight) release() {
+	if f.refs.Add(-1) == 0 {
+		*f = flight{}
+		flightPool.Put(f)
+	}
+}
+
+// cacheShard is one lock domain of the sharded cache: the TTL entries plus
+// the singleflight table for keys currently being fetched.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]cacheEntry
+	flights map[cacheKey]*flight
+}
+
+// defaultShards is the default cache shard count, sized so the unified
+// pipeline's worker pool (bounded by GOMAXPROCS) rarely collides on a lock.
+const defaultShards = 64
+
+// fnv1a hashes s with FNV-1a, the same cheap inline hash the interner uses.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Resolver is a caching stub resolver over a Transport. The cache is sharded
+// (power-of-two shard count, FNV-hashed keys) so concurrent workers do not
+// serialize on one lock, and misses are deduplicated through a singleflight
+// table: concurrent lookups for the same (name, type) issue exactly one
+// transport exchange.
 type Resolver struct {
 	transport Transport
 
@@ -79,14 +140,21 @@ type Resolver struct {
 	// maxTTL caps positive cache lifetimes.
 	maxTTL time.Duration
 
-	mu    sync.RWMutex
-	cache map[cacheKey]cacheEntry
+	// shards has power-of-two length; shardMask == len(shards)-1.
+	shards    []cacheShard
+	shardMask uint64
 
-	// Per-instance counters behind Stats, kept off the cache mutex so the
+	// Per-instance counters behind Stats, kept off the cache mutexes so the
 	// accounting is lock-free; the same events also feed the process-wide
 	// telemetry registry (resolver_queries_total and friends).
 	queries atomic.Int64
 	hits    atomic.Int64
+	deduped atomic.Int64
+}
+
+func (r *Resolver) shard(key cacheKey) *cacheShard {
+	h := fnv1a(key.name) ^ uint64(key.qtype)*0x9E3779B97F4A7C15
+	return &r.shards[h&r.shardMask]
 }
 
 // Option configures a Resolver.
@@ -107,6 +175,18 @@ func WithMaxTTL(d time.Duration) Option {
 	return func(r *Resolver) { r.maxTTL = d }
 }
 
+// WithShards sets the cache shard count, rounded up to the next power of
+// two; values below one select a single shard.
+func WithShards(n int) Option {
+	return func(r *Resolver) {
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		r.shards = make([]cacheShard, p)
+	}
+}
+
 // New creates a resolver using transport.
 func New(transport Transport, opts ...Option) *Resolver {
 	r := &Resolver{
@@ -114,20 +194,37 @@ func New(transport Transport, opts ...Option) *Resolver {
 		now:       time.Now,
 		negTTL:    60 * time.Second,
 		maxTTL:    time.Hour,
-		cache:     make(map[cacheKey]cacheEntry),
 	}
 	for _, o := range opts {
 		o(r)
 	}
+	if r.shards == nil {
+		r.shards = make([]cacheShard, defaultShards)
+	}
+	r.shardMask = uint64(len(r.shards) - 1)
+	for i := range r.shards {
+		r.shards[i].entries = make(map[cacheKey]cacheEntry)
+		r.shards[i].flights = make(map[cacheKey]*flight)
+	}
+	telShards.Set(int64(len(r.shards)))
 	return r
 }
+
+// Shards returns the cache shard count (always a power of two).
+func (r *Resolver) Shards() int { return len(r.shards) }
 
 // Stats is a point-in-time snapshot of the resolver's query counters.
 type Stats struct {
 	// Queries is the total number of Lookup calls.
 	Queries int64
-	// Hits is how many of them were served from the cache.
+	// Hits is how many of them were served from the cache (including
+	// lookups resolved by joining another caller's in-flight exchange).
 	Hits int64
+	// Deduped is how many lookups joined an exchange already in flight for
+	// the same (name, type) instead of issuing their own — the singleflight
+	// suppression count. Every deduplicated lookup that succeeds is also a
+	// Hit, so Queries - Hits remains the number of transport exchanges.
+	Deduped int64
 }
 
 // HitRate is the fraction of lookups served from cache, 0 when idle.
@@ -143,43 +240,108 @@ func (s Stats) HitRate() float64 {
 // process-wide telemetry registry aggregates across instances, and it backs
 // the Diagnostics.Resolver field of measurement results.
 func (r *Resolver) Stats() Stats {
-	return Stats{Queries: r.queries.Load(), Hits: r.hits.Load()}
+	return Stats{Queries: r.queries.Load(), Hits: r.hits.Load(), Deduped: r.deduped.Load()}
 }
 
-// Lookup queries (name, qtype), serving from cache when possible.
+// queryPool recycles query messages for the miss path. Safe because neither
+// transport retains the query: UDPTransport packs a private copy and
+// ZoneDirect's Reply copies the question section.
+var queryPool = sync.Pool{New: func() any {
+	return &dnsmsg.Message{Questions: make([]dnsmsg.Question, 1)}
+}}
+
+// Lookup queries (name, qtype), serving from cache when possible. A miss
+// for a (name, type) that another goroutine is already fetching joins that
+// exchange instead of issuing its own (counted in Stats.Deduped and
+// resolver_singleflight_dedup_total).
 func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnsmsg.Type) (Result, error) {
 	key := cacheKey{dnsmsg.CanonicalName(name), qtype}
 	now := r.now()
 
 	r.queries.Add(1)
 	telQueries.Inc()
-	r.mu.RLock()
-	e, ok := r.cache[key]
-	r.mu.RUnlock()
-	if ok && now.Before(e.expires) {
+	sh := r.shard(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok && now.Before(e.expires) {
+		sh.mu.Unlock()
 		r.hits.Add(1)
 		telHits.Inc()
 		return e.res, nil
 	}
+	if f, ok := sh.flights[key]; ok {
+		if f.done == nil {
+			f.done = make(chan struct{})
+		}
+		done := f.done
+		f.refs.Add(1)
+		sh.mu.Unlock()
+		r.deduped.Add(1)
+		telDeduped.Inc()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			f.release()
+			return Result{}, ctx.Err()
+		}
+		res, err := f.res, f.err
+		f.release()
+		if err != nil {
+			return Result{}, err
+		}
+		r.hits.Add(1)
+		telHits.Inc()
+		return res, nil
+	}
+	f := flightPool.Get().(*flight)
+	f.refs.Store(1)
+	sh.flights[key] = f
+	sh.mu.Unlock()
 	telMisses.Inc()
 
-	q := dnsmsg.NewQuery(0, key.name, qtype)
+	res, err := r.exchange(ctx, key, now)
+	f.res, f.err = res, err
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	done := f.done
+	sh.mu.Unlock()
+	if done != nil {
+		// Waiters read res/err only after the close, which orders the writes
+		// above ahead of their reads.
+		close(done)
+	}
+	f.release()
+	return res, err
+}
+
+// exchange performs the transport round trip for key and caches the result.
+func (r *Resolver) exchange(ctx context.Context, key cacheKey, now time.Time) (Result, error) {
+	q := queryPool.Get().(*dnsmsg.Message)
+	q.Header = dnsmsg.Header{RecursionDesired: true}
+	q.Questions = q.Questions[:1]
+	q.Questions[0] = dnsmsg.Question{Name: key.name, Type: key.qtype, Class: dnsmsg.ClassIN}
+	q.Answers, q.Authority, q.Additional = nil, nil, nil
 	exchangeStart := time.Now()
 	resp, err := r.transport.Exchange(ctx, q)
-	lookupHist(qtype).ObserveDuration(time.Since(exchangeStart))
+	lookupHist(key.qtype).ObserveDuration(time.Since(exchangeStart))
+	queryPool.Put(q)
 	if err != nil {
 		return Result{}, err
 	}
-	switch resp.Header.RCode {
+	rcode := resp.Header.RCode
+	switch rcode {
 	case dnsmsg.RCodeSuccess, dnsmsg.RCodeNameError:
 	default:
-		return Result{RCode: resp.Header.RCode}, fmt.Errorf("%w: %s %s -> %s", ErrServFail, key.name, qtype, resp.Header.RCode)
+		releaseResponse(resp)
+		return Result{RCode: rcode}, fmt.Errorf("%w: %s %s -> %s", ErrServFail, key.name, key.qtype, rcode)
 	}
 	res := Result{
-		RCode:     resp.Header.RCode,
+		RCode:     rcode,
 		Answers:   resp.Answers,
 		Authority: resp.Authority,
 	}
+	// Only the record slices are retained; the message wrapper goes back to
+	// the transport pool.
+	releaseResponse(resp)
 	r.store(key, res, now)
 	return res, nil
 }
@@ -201,16 +363,20 @@ func (r *Resolver) store(key cacheKey, res Result, now time.Time) {
 	if ttl <= 0 {
 		return
 	}
-	r.mu.Lock()
-	r.cache[key] = cacheEntry{res: res, expires: now.Add(ttl)}
-	r.mu.Unlock()
+	sh := r.shard(key)
+	sh.mu.Lock()
+	sh.entries[key] = cacheEntry{res: res, expires: now.Add(ttl)}
+	sh.mu.Unlock()
 }
 
-// FlushCache drops all cached entries.
+// FlushCache drops all cached entries (in-flight exchanges are unaffected).
 func (r *Resolver) FlushCache() {
-	r.mu.Lock()
-	r.cache = make(map[cacheKey]cacheEntry)
-	r.mu.Unlock()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[cacheKey]cacheEntry)
+		sh.mu.Unlock()
+	}
 }
 
 // NS returns the nameserver host names of domain (the paper's DIG_NS(w)).
@@ -290,7 +456,8 @@ func (r *Resolver) CNAME(ctx context.Context, host string) (string, error) {
 // CNAMEChain resolves host's full CNAME chain (host first, final target
 // last). A host with no CNAME yields just [host].
 func (r *Resolver) CNAMEChain(ctx context.Context, host string) ([]string, error) {
-	chain := []string{dnsmsg.CanonicalName(host)}
+	chain := make([]string, 1, 4) // most chains are 1-3 hops; avoid regrowth
+	chain[0] = dnsmsg.CanonicalName(host)
 	for i := 0; i < 16; i++ {
 		target, err := r.CNAME(ctx, chain[len(chain)-1])
 		if err != nil {

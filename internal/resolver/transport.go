@@ -90,10 +90,18 @@ func (t *UDPTransport) Exchange(ctx context.Context, query *dnsmsg.Message) (*dn
 		q.Additional = append([]dnsmsg.Record(nil), q.Additional...)
 		q.SetEDNS0(t.AdvertiseUDPSize)
 	}
-	wire, err := q.Pack()
+	bufp := dnsmsg.GetPacketBuf()
+	wire, err := q.AppendPack((*bufp)[:0])
 	if err != nil {
+		dnsmsg.PutPacketBuf(bufp)
 		return nil, err
 	}
+	// The response never aliases the query wire, so the buffer can be
+	// recycled as soon as the exchange (including retries) is over.
+	defer func() {
+		*bufp = wire[:0]
+		dnsmsg.PutPacketBuf(bufp)
+	}()
 	timeout := t.Timeout
 	if timeout == 0 {
 		timeout = 2 * time.Second
@@ -200,9 +208,24 @@ type ZoneDirect struct {
 	Store *dnszone.Store
 }
 
+// respPool recycles response message wrappers between ZoneDirect exchanges.
+// The resolver extracts the answer/authority record slices into its cache
+// and releases the wrapper (cleared, so no records are retained) back here.
+var respPool = sync.Pool{New: func() any { return new(dnsmsg.Message) }}
+
+// releaseResponse recycles a response wrapper once its record slices have
+// been extracted. Safe for any transport's messages: only the wrapper is
+// pooled, and it is cleared before reuse.
+func releaseResponse(m *dnsmsg.Message) {
+	*m = dnsmsg.Message{}
+	respPool.Put(m)
+}
+
 // Exchange implements Transport.
 func (z ZoneDirect) Exchange(_ context.Context, query *dnsmsg.Message) (*dnsmsg.Message, error) {
-	return z.Store.HandleQuery(query), nil
+	resp := respPool.Get().(*dnsmsg.Message)
+	z.Store.AnswerInto(query, resp)
+	return resp, nil
 }
 
 // AXFR performs a zone transfer (RFC 5936) for zone from the server at

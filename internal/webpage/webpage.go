@@ -17,6 +17,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"depscope/internal/conc"
@@ -37,10 +38,22 @@ type Page struct {
 	Site string
 	// Resources are the objects the page loads.
 	Resources []Resource
+
+	// hosts caches the sorted distinct host set; AddResource invalidates
+	// it. The measurement pipeline reads each page's hosts once per stage,
+	// so recomputing the set (map + sort) per call was pure garbage.
+	hostsMu sync.Mutex
+	hosts   []string
 }
 
-// Hosts returns the distinct resource hostnames, sorted.
+// Hosts returns the distinct resource hostnames, sorted. The slice is
+// cached until the next AddResource call; callers must not modify it.
 func (p *Page) Hosts() []string {
+	p.hostsMu.Lock()
+	defer p.hostsMu.Unlock()
+	if p.hosts != nil {
+		return p.hosts
+	}
 	seen := make(map[string]bool, len(p.Resources))
 	for _, r := range p.Resources {
 		if r.Host != "" {
@@ -52,6 +65,7 @@ func (p *Page) Hosts() []string {
 		out = append(out, h)
 	}
 	sort.Strings(out)
+	p.hosts = out
 	return out
 }
 
@@ -59,6 +73,9 @@ func (p *Page) Hosts() []string {
 func (p *Page) AddResource(rawURL string) {
 	host := hostOf(rawURL, p.Site)
 	p.Resources = append(p.Resources, Resource{URL: rawURL, Host: host})
+	p.hostsMu.Lock()
+	p.hosts = nil
+	p.hostsMu.Unlock()
 }
 
 // hostOf resolves the host of rawURL; relative URLs belong to site.
