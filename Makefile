@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt examples race golden verify alloc-guards bench bench-pipeline bench-incident bench-compare
+.PHONY: all build test vet fmt examples race golden verify alloc-guards bench bench-pipeline bench-incident bench-compare loadtest loadtest-smoke
 
 all: build test
 
@@ -44,8 +44,20 @@ alloc-guards:
 # (gofmt -l walks the whole tree, internal/intern included), the plain
 # suite, the race-enabled suite (which covers the pipeline cancellation,
 # simulation-abort and pool-shutdown tests), the Dyn-replay golden test,
-# the allocation budgets, and the example builds.
-verify: build vet fmt test race golden examples alloc-guards
+# the allocation budgets, the example builds, and a small end-to-end load
+# smoke of the query API (depserver + depload, scale 300, 1s).
+verify: build vet fmt test race golden examples alloc-guards loadtest-smoke
+
+# loadtest runs the recorded serve load measurement: a prewarmed depserver
+# at scale 2000 driven by cmd/depload over the default endpoint mix, with
+# measured qps and p50/p99 latency rewritten into BENCH_serve.json.
+loadtest:
+	./docs/bench.sh serve
+
+# loadtest-smoke is the CI-sized serve exercise wired into verify: tiny
+# world, 1s timed phase, fails on any failed request; writes no record.
+loadtest-smoke:
+	./docs/bench.sh serve-smoke
 
 # bench runs the headline metric benchmarks (Figure 5/6 renders plus the
 # batched C_p/I_p engine microbenchmarks) and writes BENCH_metrics.json,

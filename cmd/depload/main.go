@@ -1,0 +1,353 @@
+// Command depload is the built-in load generator for depserver's query API:
+// it drives a running server across a configurable endpoint mix and reports
+// measured throughput and latency quantiles per endpoint, in the same JSON
+// record shape as docs/bench.sh (so BENCH_serve.json slots into the
+// bench-compare trajectory).
+//
+// Usage:
+//
+//	depserver -scale 2000 -http 127.0.0.1:8080 -prewarm &
+//	depload -addr http://127.0.0.1:8080 -duration 5s -concurrency 32
+//
+// depload first polls /v1/snapshot until the server reports a published
+// snapshot (triggering the build itself if the server was not prewarmed),
+// fetches a working set of site names, then runs the timed phase: every
+// worker loops over the weighted endpoint mix with keep-alive connections,
+// recording one latency sample per request. Results go to stdout as one
+// JSON object per endpoint plus a Total record; the human summary goes to
+// stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// endpoint names in mix order; "site" hits /v1/sites/{name}.
+var endpointNames = []string{"site", "providers", "snapshot", "sites", "incident"}
+
+type mix map[string]int
+
+// parseMix parses "site=60,providers=25,snapshot=10,incident=5".
+func parseMix(s string) (mix, error) {
+	m := make(mix)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		known := false
+		for _, n := range endpointNames {
+			if n == k {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown endpoint %q in mix (have: %s)", k, strings.Join(endpointNames, ", "))
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight %q for %s", v, k)
+		}
+		m[k] = w
+	}
+	total := 0
+	for _, w := range m {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix selects nothing")
+	}
+	return m, nil
+}
+
+// table expands the mix into a shuffled pick table so consecutive requests
+// interleave endpoints instead of running them in blocks.
+func (m mix) table(rng *rand.Rand) []string {
+	var t []string
+	for _, name := range endpointNames {
+		for i := 0; i < m[name]; i++ {
+			t = append(t, name)
+		}
+	}
+	rng.Shuffle(len(t), func(i, j int) { t[i], t[j] = t[j], t[i] })
+	return t
+}
+
+// sample is one endpoint's collected measurements on one worker.
+type sample struct {
+	latencies []int64 // ns
+	errors    int
+}
+
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"` // p50 latency
+	P99Ns       int64   `json:"p99_ns"`
+	QPS         float64 `json:"qps"`
+	Errors      int     `json:"errors"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("depload: ")
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the depserver admin endpoint")
+		duration    = flag.Duration("duration", 10*time.Second, "timed phase length")
+		concurrency = flag.Int("concurrency", 0, "concurrent workers; values < 1 mean 4 x GOMAXPROCS")
+		mixSpec     = flag.String("mix", "site=60,providers=25,snapshot=10,incident=5", "weighted endpoint mix")
+		sitesN      = flag.Int("sites", 500, "size of the site-name working set fetched up front")
+		readyWait   = flag.Duration("ready-timeout", 120*time.Second, "how long to wait for the server's snapshot build")
+		failOnError = flag.Bool("fail-on-error", false, "exit non-zero when any request fails")
+		seed        = flag.Int64("rng-seed", 1, "endpoint-mix shuffle seed")
+	)
+	flag.Parse()
+	if *concurrency < 1 {
+		*concurrency = 4 * maxParallelism()
+	}
+	m, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := strings.TrimSuffix(*addr, "/")
+
+	transport := &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	if err := waitReady(client, base, *readyWait); err != nil {
+		log.Fatal(err)
+	}
+	sites, err := fetchSites(client, base, *sitesN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("server ready; working set of %d sites, %d workers, mix %s, %s timed run",
+		len(sites), *concurrency, *mixSpec, *duration)
+
+	// The timed phase. Each worker owns its RNG, pick table and sample set;
+	// nothing is shared but the (concurrency-safe) client.
+	deadline := time.Now().Add(*duration)
+	results := make([]map[string]*sample, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			table := m.table(rng)
+			samples := make(map[string]*sample, len(endpointNames))
+			for _, n := range endpointNames {
+				samples[n] = &sample{}
+			}
+			results[w] = samples
+			for i := 0; time.Now().Before(deadline); i++ {
+				name := table[i%len(table)]
+				url := requestURL(base, name, sites, rng)
+				t0 := time.Now()
+				ok := doRequest(client, url)
+				el := time.Since(t0).Nanoseconds()
+				s := samples[name]
+				s.latencies = append(s.latencies, el)
+				if !ok {
+					s.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge workers and emit one record per exercised endpoint plus Total.
+	var all []int64
+	totalErrs := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, name := range endpointNames {
+		var lat []int64
+		errs := 0
+		for _, samples := range results {
+			s := samples[name]
+			lat = append(lat, s.latencies...)
+			errs += s.errors
+		}
+		if len(lat) == 0 {
+			continue
+		}
+		all = append(all, lat...)
+		totalErrs += errs
+		rec := summarize("LoadServe"+title(name), lat, errs, elapsed, *concurrency)
+		log.Printf("%-22s %9d req  %8.0f qps  p50 %8s  p99 %8s  errors %d",
+			rec.Name, rec.Iterations, rec.QPS,
+			time.Duration(rec.NsPerOp), time.Duration(rec.P99Ns), rec.Errors)
+		enc.Encode(rec)
+	}
+	rec := summarize("LoadServeTotal", all, totalErrs, elapsed, *concurrency)
+	log.Printf("%-22s %9d req  %8.0f qps  p50 %8s  p99 %8s  errors %d",
+		rec.Name, rec.Iterations, rec.QPS,
+		time.Duration(rec.NsPerOp), time.Duration(rec.P99Ns), rec.Errors)
+	enc.Encode(rec)
+
+	if *failOnError && totalErrs > 0 {
+		log.Fatalf("%d requests failed", totalErrs)
+	}
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func maxParallelism() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+func summarize(name string, lat []int64, errs int, elapsed time.Duration, conc int) record {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) int64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return record{
+		Name:        name,
+		Iterations:  len(lat),
+		NsPerOp:     q(0.50),
+		P99Ns:       q(0.99),
+		QPS:         float64(len(lat)) / elapsed.Seconds(),
+		Errors:      errs,
+		Concurrency: conc,
+		DurationS:   elapsed.Seconds(),
+	}
+}
+
+// requestURL picks the concrete URL for one request of the named kind.
+func requestURL(base, name string, sites []string, rng *rand.Rand) string {
+	switch name {
+	case "site":
+		return base + "/v1/sites/" + sites[rng.Intn(len(sites))]
+	case "providers":
+		metric := "cp"
+		if rng.Intn(2) == 1 {
+			metric = "ip"
+		}
+		return base + "/v1/providers?metric=" + metric + "&top=10"
+	case "snapshot":
+		return base + "/v1/snapshot"
+	case "sites":
+		return base + "/v1/sites?limit=100"
+	case "incident":
+		return base + "/incident?preset=dyn-replay"
+	}
+	panic("unknown endpoint " + name)
+}
+
+// doRequest performs one GET, draining the body so the connection is reused.
+func doRequest(client *http.Client, url string) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// waitReady polls /v1/snapshot until the server reports a published
+// snapshot. A server without -prewarm builds on first query, so the first
+// poll also fires one cheap ranking query to kick the build off.
+func waitReady(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	kicked := false
+	for {
+		resp, err := client.Get(base + "/v1/snapshot")
+		if err == nil {
+			var meta struct {
+				Ready    bool   `json:"ready"`
+				Building bool   `json:"building"`
+				LastErr  string `json:"last_error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&meta)
+			resp.Body.Close()
+			if err == nil {
+				if meta.Ready {
+					return nil
+				}
+				if !meta.Building && !kicked {
+					// Lazy server: fire one query to start the build, in the
+					// background so we keep polling readiness.
+					kicked = true
+					go doRequest(client, base+"/v1/providers?top=1")
+				}
+				if meta.LastErr != "" {
+					log.Printf("snapshot build failing (will retry): %s", meta.LastErr)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", base, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetchSites pulls the working set of site names, paging /v1/sites.
+func fetchSites(client *http.Client, base string, n int) ([]string, error) {
+	var sites []string
+	for len(sites) < n {
+		limit := n - len(sites)
+		if limit > 10000 {
+			limit = 10000
+		}
+		url := fmt.Sprintf("%s/v1/sites?offset=%d&limit=%d", base, len(sites), limit)
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		var page struct {
+			Total int      `json:"total"`
+			Sites []string `json:"sites"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(page.Sites) == 0 {
+			break
+		}
+		sites = append(sites, page.Sites...)
+		if len(sites) >= page.Total {
+			break
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("server returned no sites")
+	}
+	return sites, nil
+}

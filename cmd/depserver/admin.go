@@ -1,110 +1,27 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"expvar"
-	"fmt"
 	"net/http"
 	"net/http/pprof"
-	"strings"
 	"sync"
 
-	"depscope/internal/analysis"
-	"depscope/internal/incident"
+	"depscope/internal/serve"
 	"depscope/internal/telemetry"
 )
 
-// The admin mux: telemetry, debug endpoints, and the /incident what-if
-// simulator. Split from the listener plumbing in main.go so tests can mount
-// it on httptest servers.
+// The admin mux: telemetry, debug endpoints, and the query API (the /v1
+// endpoints and the /incident what-if simulator, both served off the
+// snapshot manager in internal/serve). Split from the listener plumbing in
+// main.go so tests can mount it on httptest servers.
 
 // expvar.Publish panics on duplicate names, so registration must survive
 // building more than one mux per process (tests do).
 var publishTelemetryOnce sync.Once
 
-// incidentBackend serves /incident. The analysis run it simulates against
-// is built lazily on first request — depserver's primary job is DNS, and an
-// operator who never asks a what-if question never pays for measurement.
-type incidentBackend struct {
-	scale int
-	seed  int64
-
-	once sync.Once
-	run  *analysis.Run
-	err  error
-}
-
-func (b *incidentBackend) load() (*analysis.Run, error) {
-	b.once.Do(func() {
-		b.run, b.err = analysis.Execute(context.Background(), analysis.Options{
-			Scale: b.scale,
-			Seed:  b.seed,
-		})
-	})
-	return b.run, b.err
-}
-
-// ServeHTTP answers:
-//
-//	GET  /incident                 — list the built-in presets
-//	GET  /incident?preset=NAME     — simulate a preset
-//	POST /incident                 — simulate the scenario JSON in the body
-func (b *incidentBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	var sc *incident.Scenario
-	switch r.Method {
-	case http.MethodGet:
-		name := r.URL.Query().Get("preset")
-		if name == "" {
-			writeJSON(w, http.StatusOK, map[string]any{"presets": incident.PresetNames()})
-			return
-		}
-		var ok bool
-		if sc, ok = incident.Preset(name); !ok {
-			httpError(w, http.StatusBadRequest, "unknown preset %q (have: %s)",
-				name, strings.Join(incident.PresetNames(), ", "))
-			return
-		}
-	case http.MethodPost:
-		var err error
-		if sc, err = incident.ParseScenario(r.Body); err != nil {
-			httpError(w, http.StatusBadRequest, "bad scenario: %v", err)
-			return
-		}
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
-		return
-	}
-	run, err := b.load()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "measurement run failed: %v", err)
-		return
-	}
-	rep, err := analysis.SimulateIncident(r.Context(), run, sc)
-	if err != nil {
-		// The scenario parsed but does not apply to this world (unknown
-		// provider, missing snapshot, ...): the request is at fault.
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, rep)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // newAdminMux assembles the operator endpoint: Prometheus text at /metrics,
-// expvar, pprof, and the /incident simulator.
-func newAdminMux(backend *incidentBackend) *http.ServeMux {
+// expvar, pprof, and the snapshot-backed query API.
+func newAdminMux(m *serve.Manager) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
 	publishTelemetryOnce.Do(func() {
@@ -118,6 +35,6 @@ func newAdminMux(backend *incidentBackend) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/incident", backend)
+	serve.Register(mux, m)
 	return mux
 }

@@ -3,14 +3,15 @@
 // dig, the examples) can interrogate the same world the measurement
 // pipeline analyzes.
 //
-// With -http it additionally serves an operator endpoint exposing the
-// process-wide telemetry registry as Prometheus text (/metrics), expvar
-// (/debug/vars) and the standard pprof profiles (/debug/pprof/). See
-// docs/observability.md.
+// With -http it additionally serves an operator endpoint: the snapshot-
+// backed query API (/v1/sites, /v1/providers, /v1/snapshot, /incident —
+// see docs/serving.md), the process-wide telemetry registry as Prometheus
+// text (/metrics), expvar (/debug/vars) and the standard pprof profiles
+// (/debug/pprof/). See docs/observability.md.
 //
 // Usage:
 //
-//	depserver [-scale N] [-seed S] [-year 2016|2020] [-addr host:port] [-http host:port]
+//	depserver [-scale N] [-seed S] [-year 2016|2020] [-addr host:port] [-http host:port] [-prewarm]
 package main
 
 import (
@@ -26,9 +27,11 @@ import (
 	"syscall"
 	"time"
 
+	"depscope/internal/analysis"
 	"depscope/internal/dnsserver"
 	"depscope/internal/dnszone"
 	"depscope/internal/ecosystem"
+	"depscope/internal/serve"
 
 	// Blank imports register the metrics of layers depserver does not call
 	// directly, so a scrape of /metrics shows the full catalog (zero-valued
@@ -58,7 +61,8 @@ func run() error {
 		seed     = flag.Int64("seed", 2020, "generator seed")
 		year     = flag.Int("year", 2020, "snapshot year (2016 or 2020)")
 		addr     = flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
-		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		httpAddr = flag.String("http", "", "serve the query API, /metrics, /debug/vars and /debug/pprof on this address")
+		prewarm  = flag.Bool("prewarm", false, "build the analysis snapshot at startup (in the background) instead of on the first query")
 		verbose  = flag.Bool("v", false, "log every query")
 		zonefile = flag.String("zonefile", "", "additionally serve a zone from this RFC 1035 master file")
 		export   = flag.String("export", "", "write the zone of this domain to stdout as a master file and exit")
@@ -112,18 +116,31 @@ func run() error {
 
 	// Bring the admin endpoint up before blocking on the DNS server, but
 	// tie both to the same signal context: whichever fails first cancels
-	// the other, and SIGTERM shuts both down cleanly.
-	errc := make(chan error, 1)
+	// the other, and SIGTERM shuts both down cleanly. The channel holds one
+	// slot per sender (admin + DNS) so whichever loses the select race below
+	// still completes its send and exits instead of blocking forever.
+	errc := make(chan error, 2)
 	if *httpAddr != "" {
-		backend := &incidentBackend{scale: *scale, seed: *seed}
-		hs, err := startAdmin(*httpAddr, backend, errc)
+		// The query API serves immutable analysis snapshots built by this
+		// manager. Builds run under the signal context, so SIGTERM cancels a
+		// measurement in flight; a failed build is retried with backoff on
+		// the next request, never cached.
+		mgr := serve.NewManager(ctx, func(bctx context.Context) (*analysis.Run, error) {
+			return analysis.Execute(bctx, analysis.Options{Scale: *scale, Seed: *seed})
+		}, serve.WithSeed(*seed))
+		if *prewarm {
+			mgr.Prewarm()
+		}
+		hs, err := startAdmin(*httpAddr, mgr, errc)
 		if err != nil {
 			return err
 		}
 		defer func() {
 			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
-			hs.Shutdown(shutCtx)
+			if err := hs.Shutdown(shutCtx); err != nil {
+				log.Printf("admin shutdown: %v", err)
+			}
 		}()
 	}
 
@@ -141,13 +158,13 @@ func run() error {
 
 // startAdmin binds httpAddr and serves the admin mux (see newAdminMux in
 // admin.go). Listener errors after startup are reported on errc.
-func startAdmin(httpAddr string, backend *incidentBackend, errc chan<- error) (*http.Server, error) {
+func startAdmin(httpAddr string, mgr *serve.Manager, errc chan<- error) (*http.Server, error) {
 	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
 		return nil, fmt.Errorf("admin listen %s: %w", httpAddr, err)
 	}
-	hs := &http.Server{Handler: newAdminMux(backend)}
-	log.Printf("admin endpoint on http://%s/metrics (also /incident, /debug/vars, /debug/pprof)", ln.Addr())
+	hs := &http.Server{Handler: newAdminMux(mgr)}
+	log.Printf("admin endpoint on http://%s/metrics (also /v1/sites, /v1/providers, /v1/snapshot, /incident, /debug/vars, /debug/pprof)", ln.Addr())
 	go func() {
 		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- fmt.Errorf("admin serve: %w", err)

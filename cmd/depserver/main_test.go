@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -8,14 +9,19 @@ import (
 	"strings"
 	"testing"
 
+	"depscope/internal/analysis"
 	"depscope/internal/incident"
+	"depscope/internal/serve"
 )
 
 // One tiny backend for the whole file: its lazy analysis run is built on
 // the first simulating request and shared after that.
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newAdminMux(&incidentBackend{scale: 300, seed: 2020}))
+	mgr := serve.NewManager(context.Background(), func(ctx context.Context) (*analysis.Run, error) {
+		return analysis.Execute(ctx, analysis.Options{Scale: 300, Seed: 2020})
+	}, serve.WithSeed(2020))
+	srv := httptest.NewServer(newAdminMux(mgr))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -123,5 +129,79 @@ func TestAdminMuxRebuild(t *testing.T) {
 	code, _ := get(t, srv.URL+"/debug/vars")
 	if code != http.StatusOK {
 		t.Errorf("GET /debug/vars = %d", code)
+	}
+}
+
+// TestQueryAPIOnRealRun drives the /v1 endpoints against a real (small)
+// analysis run: list sites, fetch the top-ranked one, rank providers, and
+// read the snapshot metadata the build published.
+func TestQueryAPIOnRealRun(t *testing.T) {
+	srv := testServer(t)
+
+	code, body := get(t, srv.URL+"/v1/sites?limit=5")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/sites = %d: %s", code, body)
+	}
+	var listing struct {
+		Total int      `json:"total"`
+		Sites []string `json:"sites"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Total != 300 || len(listing.Sites) != 5 {
+		t.Fatalf("site listing = total %d, %d names", listing.Total, len(listing.Sites))
+	}
+
+	code, body = get(t, srv.URL+"/v1/sites/"+listing.Sites[0])
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/sites/%s = %d: %s", listing.Sites[0], code, body)
+	}
+	var site analysis.SiteView
+	if err := json.Unmarshal(body, &site); err != nil {
+		t.Fatal(err)
+	}
+	if site.Site != listing.Sites[0] || site.Rank != 1 || len(site.Services) == 0 {
+		t.Errorf("site view = %+v", site)
+	}
+
+	code, body = get(t, srv.URL+"/v1/providers?metric=ip&service=dns&top=3")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/providers = %d: %s", code, body)
+	}
+	var ranking struct {
+		Metric    string `json:"metric"`
+		Total     int    `json:"total"`
+		Providers []struct {
+			Rank   string `json:"-"`
+			Name   string `json:"name"`
+			Impact int    `json:"impact"`
+		} `json:"providers"`
+	}
+	if err := json.Unmarshal(body, &ranking); err != nil {
+		t.Fatal(err)
+	}
+	if ranking.Metric != "ip" || len(ranking.Providers) != 3 || ranking.Total < 3 {
+		t.Errorf("ranking = %+v", ranking)
+	}
+	if ranking.Providers[0].Impact < ranking.Providers[2].Impact {
+		t.Errorf("ranking not descending: %+v", ranking.Providers)
+	}
+
+	code, body = get(t, srv.URL+"/v1/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/snapshot = %d: %s", code, body)
+	}
+	var meta struct {
+		Ready   bool   `json:"ready"`
+		Version uint64 `json:"version"`
+		Scale   int    `json:"scale"`
+		Seed    int64  `json:"seed"`
+	}
+	if err := json.Unmarshal(body, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Ready || meta.Version != 1 || meta.Scale != 300 || meta.Seed != 2020 {
+		t.Errorf("snapshot meta = %+v", meta)
 	}
 }

@@ -13,15 +13,22 @@
 # benchmark, stamped with the run time, to BENCH_pipeline.json — keeping a
 # history so pipeline regressions show up across commits. Suite "incident"
 # runs the incident-engine sweep (top-100 single-provider outages at scale
-# 2K through incident.Sweep) and rewrites BENCH_incident.json. Suite "all"
-# runs all three.
+# 2K through incident.Sweep) and rewrites BENCH_incident.json. Suite
+# "serve" starts a real depserver (scale 2000, -prewarm), drives it with
+# cmd/depload over the default endpoint mix, and rewrites BENCH_serve.json
+# with the measured qps and p50/p99 latencies (ns_per_op is the p50).
+# Suite "serve-smoke" is the CI-sized version (scale 300, 1s, no file
+# written) wired into make verify. Suite "all" runs metrics, pipeline,
+# incident and serve.
 #
-# Suite "compare" runs every recorded benchmark fresh and diffs its ns/op
-# against the committed BENCH_*.json records (for the append-history
-# pipeline file, against the most recent record per benchmark) without
-# rewriting any of them. A benchmark more than 10% slower than its record
-# fails the comparison; benchmarks present on only one side are reported
-# and skipped.
+# Suite "compare" runs every recorded benchmark fresh — including a serve
+# load run — and diffs its ns/op against the committed BENCH_*.json records
+# (for the append-history pipeline file, against the most recent record per
+# benchmark) without rewriting any of them. A benchmark more than 10%
+# slower than its record fails the comparison (25% for the LoadServe*
+# records: wall-clock HTTP latency under OS scheduling jitter is noisier
+# than cooked go-bench averages); benchmarks present on only one side are
+# reported and skipped.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -53,6 +60,46 @@ bench_json() {
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
+# Scale/duration of the recorded serve load run; the smoke run shrinks both.
+SERVE_SCALE=2000
+SERVE_DURATION=5s
+SERVE_CONC=32
+SERVE_SITES=500
+
+# run_serve SCALE DURATION CONC SITES: build depserver+depload, bring a
+# prewarmed server up on ephemeral ports, run the timed load phase and print
+# depload's JSON records (one per endpoint) on stdout. The server's logs
+# stay in a temp file unless something fails.
+run_serve() {
+	bindir=$(mktemp -d)
+	go build -o "$bindir/depserver" ./cmd/depserver
+	go build -o "$bindir/depload" ./cmd/depload
+	"$bindir/depserver" -scale "$1" -addr 127.0.0.1:0 -http 127.0.0.1:0 -prewarm \
+		>"$bindir/depserver.log" 2>&1 &
+	serve_pid=$!
+	admin=""
+	for _ in $(seq 1 100); do
+		admin=$(sed -n 's|.*admin endpoint on http://\([^/]*\)/metrics.*|\1|p' "$bindir/depserver.log")
+		[ -n "$admin" ] && break
+		kill -0 "$serve_pid" 2>/dev/null || break
+		sleep 0.1
+	done
+	if [ -z "$admin" ]; then
+		echo "depserver did not come up:" >&2
+		cat "$bindir/depserver.log" >&2
+		kill "$serve_pid" 2>/dev/null || true
+		rm -rf "$bindir"
+		return 1
+	fi
+	rc=0
+	"$bindir/depload" -addr "http://$admin" -duration "$2" -concurrency "$3" \
+		-sites "$4" -fail-on-error || rc=$?
+	kill "$serve_pid" 2>/dev/null || true
+	wait "$serve_pid" 2>/dev/null || true
+	rm -rf "$bindir"
+	return "$rc"
+}
+
 if [ "$suite" = "compare" ]; then
 	go test -run '^$' \
 		-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch' \
@@ -66,6 +113,8 @@ if [ "$suite" = "compare" ]; then
 	report=$(mktemp)
 	trap 'rm -f "$raw" "$fresh" "$report"' EXIT
 	bench_json "$raw" > "$fresh"
+	# The serve load records are produced by depload directly, not go test.
+	run_serve "$SERVE_SCALE" "$SERVE_DURATION" "$SERVE_CONC" "$SERVE_SITES" >> "$fresh"
 
 	# Join fresh ns/op against the committed records. Both sides are one
 	# JSON object per line; for the committed side, later lines overwrite
@@ -74,9 +123,11 @@ if [ "$suite" = "compare" ]; then
 	status=0
 	awk -v freshfile="$fresh" '
 	function field(s, key,    r) {
-		if (!match(s, "\"" key "\": \"?[^,}\"]+")) return ""
+		# Tolerates both pretty ("key": v) and compact ("key":v) JSON — the
+		# depload records are compact, the bench_json ones are not.
+		if (!match(s, "\"" key "\": ?\"?[^,}\"]+")) return ""
 		r = substr(s, RSTART, RLENGTH)
-		sub("^\"" key "\": \"?", "", r)
+		sub("^\"" key "\": ?\"?", "", r)
 		return r
 	}
 	{
@@ -95,8 +146,11 @@ if [ "$suite" = "compare" ]; then
 			}
 			old = committed[name]
 			cur = freshns[name]
+			# Wall-clock HTTP latency (LoadServe*) jitters more than cooked
+			# go-bench averages; give it a wider band.
+			limit = (name ~ /^LoadServe/) ? 1.25 : 1.10
 			verdict = "ok"
-			if (cur > old * 1.10) { verdict = "REGRESSED"; bad = 1 }
+			if (cur > old * limit) { verdict = "REGRESSED"; bad = 1 }
 			printf "%-10s %-55s %14.0f -> %.0f ns/op (%+.1f%%)\n", verdict, name, old, cur, (cur - old) / old * 100
 		}
 		for (name in committed) {
@@ -105,12 +159,33 @@ if [ "$suite" = "compare" ]; then
 		}
 		exit bad
 	}
-	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json "$fresh" > "$report" || status=1
+	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json BENCH_serve.json "$fresh" > "$report" || status=1
 	sort "$report"
 	if [ "$status" -ne 0 ]; then
-		echo "bench compare: ns/op regression above 10%" >&2
+		echo "bench compare: ns/op regression above the allowed band" >&2
 	fi
 	exit "$status"
+fi
+
+if [ "$suite" = "serve-smoke" ]; then
+	# CI-sized end-to-end exercise of the serve path: tiny world, short
+	# timed phase, any failed request fails the target; no record written.
+	run_serve 300 1s 8 100 > /dev/null
+	echo "serve smoke ok"
+	exit 0
+fi
+
+if [ "$suite" = "serve" ] || [ "$suite" = "all" ]; then
+	out=BENCH_serve.json
+	records=$(mktemp)
+	run_serve "$SERVE_SCALE" "$SERVE_DURATION" "$SERVE_CONC" "$SERVE_SITES" > "$records"
+	{
+		echo "["
+		sed '$!s/$/,/; s/^/  /' "$records"
+		echo "]"
+	} > "$out"
+	rm -f "$records"
+	echo "wrote $out"
 fi
 
 if [ "$suite" = "metrics" ] || [ "$suite" = "all" ]; then
