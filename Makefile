@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt examples race golden verify alloc-guards bench bench-pipeline bench-incident bench-compare loadtest loadtest-smoke
+.PHONY: all build test vet fmt examples race golden verify alloc-guards bench bench-pipeline bench-incident bench-delta bench-compare loadtest loadtest-smoke
 
 all: build test
 
@@ -73,6 +73,12 @@ bench-pipeline:
 # BENCH_incident.json.
 bench-incident:
 	./docs/bench.sh incident
+
+# bench-delta runs the incremental graph engine benchmark (single-site delta
+# vs full rebuild at 2K/100K), rewrites BENCH_delta.json, and fails unless
+# the 100K delta arm beats the rebuild arm by >= 10x.
+bench-delta:
+	./docs/bench.sh delta
 
 # bench-compare reruns every recorded benchmark and diffs ns/op against the
 # committed BENCH_*.json records; any benchmark more than 10% slower than

@@ -6,11 +6,16 @@
 // Usage:
 //
 //	depscope [-scale N] [-seed S] [-workers W] [-experiment name] [-incident scenario]
+//	         [-checkpoint file [-resume]] [-timeline stream.json]
 //
 // With -experiment, only the named table/figure is printed (e.g. "table3",
 // "figure5", "figure7"). With -incident, a what-if outage scenario (a JSON
 // file or a preset such as "dyn-replay") is simulated and its impact report
-// printed instead.
+// printed instead. With -checkpoint, measurement progress is saved as the
+// run advances (one file per snapshot) and -resume picks a prior run back up
+// from those files instead of restarting. With -timeline, a delta stream is
+// replayed against the measured run and its evolution table printed (see
+// docs/incremental.md).
 package main
 
 import (
@@ -68,6 +73,9 @@ func main() {
 		incidentIn = flag.String("incident", "", "what-if incident simulation: a scenario JSON file or a preset name (see docs/incidents.md)")
 		policyStr  = flag.String("error-policy", "failfast", "per-site error policy: failfast aborts on the first measurement error, collect marks the site uncharacterized and reports errors in the summary footer")
 		showTelem  = flag.Bool("telemetry", false, "print the end-of-run telemetry metrics table to stderr")
+		ckptPath   = flag.String("checkpoint", "", "checkpoint measurement progress to this path (one file per snapshot: <path>.2016, <path>.2020)")
+		resume     = flag.Bool("resume", false, "resume from the -checkpoint files of an earlier run (they must exist); only sites whose content changed are re-measured")
+		timelineIn = flag.String("timeline", "", "replay a delta-stream JSON file against the measured run and print the evolution table (see docs/incremental.md)")
 	)
 	flag.Parse()
 	if *showTelem {
@@ -89,6 +97,23 @@ func main() {
 		scenario, err = loadScenario(*incidentIn)
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+	// Same fail-fast treatment for the other pre-run inputs: a bad delta
+	// stream or a -resume without its checkpoint should not cost a run.
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
+	var stream *analysis.DeltaStream
+	if *timelineIn != "" {
+		f, err := os.Open(*timelineIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream, err = analysis.ParseDeltaStream(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *timelineIn, err)
 		}
 	}
 
@@ -158,11 +183,13 @@ func main() {
 		}
 	}
 	run, err := analysis.Execute(context.Background(), analysis.Options{
-		Scale:       *scale,
-		Seed:        *seed,
-		Workers:     *workers,
-		ErrorPolicy: policy,
-		Progress:    progress,
+		Scale:          *scale,
+		Seed:           *seed,
+		Workers:        *workers,
+		ErrorPolicy:    policy,
+		Progress:       progress,
+		CheckpointPath: *ckptPath,
+		Resume:         *resume,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -190,6 +217,15 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote dependency graph to %s", *dotFile)
+	}
+	if stream != nil {
+		rows, err := analysis.Timeline(run, stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.RenderTimeline(os.Stdout, rows)
+		errorFooter()
+		return
 	}
 	if *outage != "" {
 		analysis.RenderOutage(os.Stdout, run, *outage)

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	depserver [-scale N] [-seed S] [-year 2016|2020] [-addr host:port] [-http host:port] [-prewarm]
+//	depserver [-scale N] [-seed S] [-year 2016|2020] [-addr host:port] [-http host:port] [-prewarm] [-allow-delta]
 package main
 
 import (
@@ -63,6 +63,7 @@ func run() error {
 		addr     = flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
 		httpAddr = flag.String("http", "", "serve the query API, /metrics, /debug/vars and /debug/pprof on this address")
 		prewarm  = flag.Bool("prewarm", false, "build the analysis snapshot at startup (in the background) instead of on the first query")
+		delta    = flag.Bool("allow-delta", false, "enable the mutating POST /v1/delta endpoint (incremental snapshot edits; see docs/incremental.md)")
 		verbose  = flag.Bool("v", false, "log every query")
 		zonefile = flag.String("zonefile", "", "additionally serve a zone from this RFC 1035 master file")
 		export   = flag.String("export", "", "write the zone of this domain to stdout as a master file and exit")
@@ -125,9 +126,13 @@ func run() error {
 		// manager. Builds run under the signal context, so SIGTERM cancels a
 		// measurement in flight; a failed build is retried with backoff on
 		// the next request, never cached.
+		opts := []serve.Option{serve.WithSeed(*seed)}
+		if *delta {
+			opts = append(opts, serve.WithDeltaAPI())
+		}
 		mgr := serve.NewManager(ctx, func(bctx context.Context) (*analysis.Run, error) {
 			return analysis.Execute(bctx, analysis.Options{Scale: *scale, Seed: *seed})
-		}, serve.WithSeed(*seed))
+		}, opts...)
 		if *prewarm {
 			mgr.Prewarm()
 		}
@@ -164,7 +169,7 @@ func startAdmin(httpAddr string, mgr *serve.Manager, errc chan<- error) (*http.S
 		return nil, fmt.Errorf("admin listen %s: %w", httpAddr, err)
 	}
 	hs := &http.Server{Handler: newAdminMux(mgr)}
-	log.Printf("admin endpoint on http://%s/metrics (also /v1/sites, /v1/providers, /v1/snapshot, /incident, /debug/vars, /debug/pprof)", ln.Addr())
+	log.Printf("admin endpoint on http://%s/metrics (also /v1/sites, /v1/providers, /v1/snapshot, /v1/delta, /v1/diff, /incident, /debug/vars, /debug/pprof)", ln.Addr())
 	go func() {
 		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- fmt.Errorf("admin serve: %w", err)

@@ -18,8 +18,11 @@
 # cmd/depload over the default endpoint mix, and rewrites BENCH_serve.json
 # with the measured qps and p50/p99 latencies (ns_per_op is the p50).
 # Suite "serve-smoke" is the CI-sized version (scale 300, 1s, no file
-# written) wired into make verify. Suite "all" runs metrics, pipeline,
-# incident and serve.
+# written) wired into make verify. Suite "delta" runs the incremental graph
+# engine benchmark (a single-site delta vs a full graph rebuild at 2K and
+# 100K), rewrites BENCH_delta.json, and fails unless the 100K delta arm is
+# at least 10x faster than the rebuild arm. Suite "all" runs metrics,
+# pipeline, incident, delta and serve.
 #
 # Suite "compare" runs every recorded benchmark fresh — including a serve
 # load run — and diffs its ns/op against the committed BENCH_*.json records
@@ -102,7 +105,7 @@ run_serve() {
 
 if [ "$suite" = "compare" ]; then
 	go test -run '^$' \
-		-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch' \
+		-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch|BenchmarkDeltaApply' \
 		-benchmem -benchtime "$benchtime" ./... | tee "$raw"
 	go test -run '^$' -bench 'BenchmarkMeasureRun$|BenchmarkTelemetryOverhead$' \
 		-benchmem -benchtime 2x ./internal/measure/ | tee -a "$raw"
@@ -159,7 +162,7 @@ if [ "$suite" = "compare" ]; then
 		}
 		exit bad
 	}
-	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json BENCH_serve.json "$fresh" > "$report" || status=1
+	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json BENCH_delta.json BENCH_serve.json "$fresh" > "$report" || status=1
 	sort "$report"
 	if [ "$status" -ne 0 ]; then
 		echo "bench compare: ns/op regression above the allowed band" >&2
@@ -210,6 +213,29 @@ if [ "$suite" = "pipeline" ] || [ "$suite" = "all" ]; then
 	stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 	bench_json "$raw" | sed "s/^{/{\"utc\": \"$stamp\", /" >> "$out"
 	echo "appended to $out"
+fi
+
+if [ "$suite" = "delta" ] || [ "$suite" = "all" ]; then
+	out=BENCH_delta.json
+	go test -run '^$' -bench 'BenchmarkDeltaApply' \
+		-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
+	{
+		echo "["
+		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
+		echo "]"
+	} > "$out"
+	echo "wrote $out"
+	# Acceptance gate: at the paper's 100K scale, applying a single-site
+	# delta must beat a from-scratch rebuild by at least 10x.
+	awk '
+	/"name": "BenchmarkDeltaApply\/delta\/100K"/   { if (match($0, /"ns_per_op": [0-9.e+]+/)) d = substr($0, RSTART + 13, RLENGTH - 13) + 0 }
+	/"name": "BenchmarkDeltaApply\/rebuild\/100K"/ { if (match($0, /"ns_per_op": [0-9.e+]+/)) r = substr($0, RSTART + 13, RLENGTH - 13) + 0 }
+	END {
+		if (d == 0 || r == 0) { print "delta suite: missing 100K records" > "/dev/stderr"; exit 1 }
+		printf "delta speedup at 100K: %.1fx (delta %.0f ns/op vs rebuild %.0f ns/op)\n", r / d, d, r
+		if (r / d < 10) { print "delta suite: speedup below the required 10x" > "/dev/stderr"; exit 1 }
+	}
+	' "$out"
 fi
 
 if [ "$suite" = "incident" ] || [ "$suite" = "all" ]; then

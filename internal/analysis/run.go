@@ -50,6 +50,15 @@ type Options struct {
 	ErrorPolicy conc.Policy
 	// Snapshots limits the run; nil means both.
 	Snapshots []ecosystem.Snapshot
+	// CheckpointPath, when non-empty, enables checkpointed measurement: each
+	// snapshot's progress is saved to "<path>.<year>" (atomic tmp+rename) as
+	// the run advances. With Resume, a checkpoint already at that path is
+	// loaded first and still-valid per-site results are reused instead of
+	// re-measured — after an interrupt, or after editing the universe (only
+	// sites whose content fingerprints changed are re-measured).
+	CheckpointPath string
+	// Resume requires CheckpointPath; the checkpoint file must exist.
+	Resume bool
 	// Progress, when set, receives one line per phase (generation, per-
 	// snapshot materialization and measurement). Execute serializes the
 	// calls, so a callback writing to a plain buffer is race-free even
@@ -61,6 +70,9 @@ type Options struct {
 func Execute(ctx context.Context, opts Options) (*Run, error) {
 	if opts.Scale <= 0 {
 		return nil, fmt.Errorf("analysis: scale must be positive")
+	}
+	if opts.Resume && opts.CheckpointPath == "" {
+		return nil, fmt.Errorf("analysis: Resume requires CheckpointPath")
 	}
 	if opts.Workers < 1 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -119,7 +131,7 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.Snapshot, opts Options) (*SnapshotData, error) {
 	defer telemetry.StartSpan("analysis.measure_snapshot").End()
 	w := ecosystem.Materialize(u, snap)
-	res, err := measure.Run(ctx, w.Sites, measure.Config{
+	cfg := measure.Config{
 		Resolver:               w.NewResolver(),
 		Certs:                  w.Certs,
 		Pages:                  w,
@@ -127,7 +139,23 @@ func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.
 		Workers:                opts.Workers,
 		ConcentrationThreshold: opts.ConcentrationThreshold,
 		ErrorPolicy:            opts.ErrorPolicy,
-	})
+	}
+	if opts.CheckpointPath != "" {
+		path := fmt.Sprintf("%s.%s", opts.CheckpointPath, snap)
+		cfg.CheckpointLabel = snap.String()
+		cfg.Fingerprints = w.SiteFingerprints()
+		cfg.OnCheckpoint = func(cp *measure.Checkpoint) error {
+			return measure.SaveCheckpoint(path, cp)
+		}
+		if opts.Resume {
+			cp, err := measure.LoadCheckpoint(path)
+			if err != nil {
+				return nil, fmt.Errorf("resume: %w", err)
+			}
+			cfg.Checkpoint = cp
+		}
+	}
+	res, err := measure.Run(ctx, w.Sites, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// BenchmarkDeltaApply prices a single-site delta (the paper's
+// diversification move: one site swapping its managed-DNS provider)
+// against the batch alternative — rebuilding the graph and re-running a
+// from-scratch metrics fill — at 2K and the paper's full 100K scale. Both
+// arms end with complete counts for the full indirect traversal, so they
+// deliver the same queryable state. docs/bench.sh's delta suite records
+// the results in BENCH_delta.json and checks the 100K delta arm beats the
+// rebuild arm by >= 10x.
+func BenchmarkDeltaApply(b *testing.B) {
+	for _, tc := range []struct {
+		name          string
+		nSites, nProv int
+	}{
+		{"2K", 2000, 200},
+		{"100K", 100000, 1000},
+	} {
+		g := metricsBenchGraph(tc.nSites, tc.nProv)
+		provs := providerList(g)
+		opts := AllIndirect()
+		g.Metrics().Counts(opts) // primed: the served-snapshot steady state
+		delta := Delta{Ops: []Op{{
+			Kind:    OpSwap,
+			Name:    "site42",
+			Service: DNS,
+			From:    g.Site("site42").Deps[DNS].Providers[0],
+			To:      "prov" + itoa(tc.nProv-1),
+		}}}
+
+		b.Run("delta/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ng, stats, err := g.Apply(delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Rebuilt {
+					b.Fatal("delta arm fell back to a rebuild")
+				}
+				conc, _ := ng.Metrics().Counts(opts)
+				if conc["prov0"] == 0 {
+					b.Fatal("empty counts")
+				}
+			}
+		})
+		b.Run("rebuild/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ng := NewGraph(g.Sites, provs)
+				conc, _ := ng.Metrics().Counts(opts)
+				if conc["prov0"] == 0 {
+					b.Fatal("empty counts")
+				}
+			}
+		})
+	}
+}

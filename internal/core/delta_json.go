@@ -1,0 +1,307 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The delta wire format. One codec serves every consumer — the depserver's
+// POST /v1/delta body, depscope -timeline stream files and checkpoint
+// tooling — so a delta authored for one tool replays in all of them:
+//
+//	{"ops": [
+//	  {"op": "swap", "name": "example.com", "service": "dns",
+//	   "from": "Dyn", "to": "AWS DNS"},
+//	  {"op": "site-dep", "name": "example.com", "service": "cdn",
+//	   "dep": {"class": "multi-third", "providers": ["Cloudflare", "Fastly"]}},
+//	  {"op": "site-add", "site": {"name": "new.example", "rank": 101,
+//	   "deps": {"dns": {"class": "single-third", "providers": ["Dyn"]}}}},
+//	  {"op": "site-remove", "name": "old.example"},
+//	  {"op": "provider-set", "provider": {"name": "Fastly", "service": "cdn",
+//	   "deps": {"dns": {"class": "single-third", "providers": ["Dyn"]}}}},
+//	  {"op": "provider-remove", "name": "Fastly"}
+//	]}
+//
+// Decoding rejects unknown fields everywhere — a typoed key fails loudly
+// instead of silently dropping half an edit.
+
+type wireDelta struct {
+	Ops []wireOp `json:"ops"`
+}
+
+type wireOp struct {
+	Op       string        `json:"op"`
+	Name     string        `json:"name,omitempty"`
+	Site     *wireSite     `json:"site,omitempty"`
+	Service  string        `json:"service,omitempty"`
+	Dep      *wireDep      `json:"dep,omitempty"`
+	From     string        `json:"from,omitempty"`
+	To       string        `json:"to,omitempty"`
+	Provider *wireProvider `json:"provider,omitempty"`
+}
+
+type wireSite struct {
+	Name         string              `json:"name"`
+	Rank         int                 `json:"rank,omitempty"`
+	Deps         map[string]wireDep  `json:"deps,omitempty"`
+	PrivateInfra map[string][]string `json:"private_infra,omitempty"`
+}
+
+type wireDep struct {
+	Class     string   `json:"class"`
+	Providers []string `json:"providers,omitempty"`
+}
+
+type wireProvider struct {
+	Name    string             `json:"name"`
+	Service string             `json:"service"`
+	Deps    map[string]wireDep `json:"deps,omitempty"`
+}
+
+// ParseService maps a lower-case wire service name onto Service.
+func ParseService(s string) (Service, error) {
+	switch strings.ToLower(s) {
+	case "dns":
+		return DNS, nil
+	case "cdn":
+		return CDN, nil
+	case "ca":
+		return CA, nil
+	}
+	return 0, fmt.Errorf("unknown service %q (want dns, cdn or ca)", s)
+}
+
+// ParseDepClass maps a wire class name (the DepClass.String values) onto
+// DepClass.
+func ParseDepClass(s string) (DepClass, error) {
+	for _, c := range []DepClass{ClassNone, ClassPrivate, ClassSingleThird,
+		ClassMultiThird, ClassPrivatePlusThird, ClassUnknown} {
+		if s == c.String() {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown dependency class %q", s)
+}
+
+// ParseDelta decodes the wire format, rejecting unknown fields and unknown
+// op/service/class names.
+func ParseDelta(r io.Reader) (Delta, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var w wireDelta
+	if err := dec.Decode(&w); err != nil {
+		return Delta{}, fmt.Errorf("decode delta: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return Delta{}, err
+	}
+	return w.toDelta()
+}
+
+// UnmarshalJSON decodes the wire format (unknown fields rejected).
+func (d *Delta) UnmarshalJSON(b []byte) error {
+	nd, err := ParseDelta(bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	*d = nd
+	return nil
+}
+
+// MarshalJSON encodes the wire format.
+func (d Delta) MarshalJSON() ([]byte, error) {
+	w := wireDelta{Ops: make([]wireOp, 0, len(d.Ops))}
+	for i := range d.Ops {
+		w.Ops = append(w.Ops, toWireOp(&d.Ops[i]))
+	}
+	return json.Marshal(w)
+}
+
+func checkTrailing(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("decode delta: trailing data after delta object")
+	}
+	return nil
+}
+
+func (w wireDelta) toDelta() (Delta, error) {
+	d := Delta{Ops: make([]Op, 0, len(w.Ops))}
+	for i, wo := range w.Ops {
+		op, err := wo.toOp()
+		if err != nil {
+			return Delta{}, fmt.Errorf("delta op %d: %w", i, err)
+		}
+		d.Ops = append(d.Ops, op)
+	}
+	return d, nil
+}
+
+func (wo wireOp) toOp() (Op, error) {
+	var op Op
+	switch wo.Op {
+	case "site-add":
+		op.Kind = OpSiteAdd
+		if wo.Site == nil {
+			return op, fmt.Errorf("site-add needs a site payload")
+		}
+		s, err := wo.Site.toSite()
+		if err != nil {
+			return op, err
+		}
+		op.Site = s
+	case "site-remove":
+		op.Kind = OpSiteRemove
+		op.Name = wo.Name
+	case "site-dep":
+		op.Kind = OpSiteDep
+		op.Name = wo.Name
+		svc, err := ParseService(wo.Service)
+		if err != nil {
+			return op, err
+		}
+		op.Service = svc
+		if wo.Dep != nil {
+			dep, err := wo.Dep.toDep()
+			if err != nil {
+				return op, err
+			}
+			op.Dep = dep
+		}
+	case "swap":
+		op.Kind = OpSwap
+		op.Name = wo.Name
+		svc, err := ParseService(wo.Service)
+		if err != nil {
+			return op, err
+		}
+		op.Service = svc
+		op.From, op.To = wo.From, wo.To
+	case "provider-set":
+		op.Kind = OpProviderSet
+		if wo.Provider == nil {
+			return op, fmt.Errorf("provider-set needs a provider payload")
+		}
+		p, err := wo.Provider.toProvider()
+		if err != nil {
+			return op, err
+		}
+		op.Provider = p
+	case "provider-remove":
+		op.Kind = OpProviderRemove
+		op.Name = wo.Name
+	default:
+		return op, fmt.Errorf("unknown op %q", wo.Op)
+	}
+	return op, nil
+}
+
+func (ws *wireSite) toSite() (*Site, error) {
+	s := &Site{Name: ws.Name, Rank: ws.Rank}
+	if len(ws.Deps) > 0 {
+		s.Deps = make(map[Service]Dep, len(ws.Deps))
+		for svcName, wd := range ws.Deps {
+			svc, err := ParseService(svcName)
+			if err != nil {
+				return nil, err
+			}
+			dep, err := wd.toDep()
+			if err != nil {
+				return nil, err
+			}
+			s.Deps[svc] = dep
+		}
+	}
+	if len(ws.PrivateInfra) > 0 {
+		s.PrivateInfra = make(map[Service][]string, len(ws.PrivateInfra))
+		for svcName, infra := range ws.PrivateInfra {
+			svc, err := ParseService(svcName)
+			if err != nil {
+				return nil, err
+			}
+			s.PrivateInfra[svc] = infra
+		}
+	}
+	return s, nil
+}
+
+func (wp *wireProvider) toProvider() (*Provider, error) {
+	svc, err := ParseService(wp.Service)
+	if err != nil {
+		return nil, err
+	}
+	p := &Provider{Name: wp.Name, Service: svc, Deps: map[Service]Dep{}}
+	for svcName, wd := range wp.Deps {
+		dsvc, err := ParseService(svcName)
+		if err != nil {
+			return nil, err
+		}
+		dep, err := wd.toDep()
+		if err != nil {
+			return nil, err
+		}
+		p.Deps[dsvc] = dep
+	}
+	return p, nil
+}
+
+func (wd wireDep) toDep() (Dep, error) {
+	c, err := ParseDepClass(wd.Class)
+	if err != nil {
+		return Dep{}, err
+	}
+	return Dep{Class: c, Providers: wd.Providers}, nil
+}
+
+func toWireOp(op *Op) wireOp {
+	wo := wireOp{Op: op.Kind.String(), Name: op.Name}
+	switch op.Kind {
+	case OpSiteAdd:
+		wo.Name = ""
+		if op.Site != nil {
+			wo.Site = toWireSite(op.Site)
+		}
+	case OpSiteDep:
+		wo.Service = strings.ToLower(op.Service.String())
+		if op.Dep.Class != ClassNone || len(op.Dep.Providers) > 0 {
+			wo.Dep = &wireDep{Class: op.Dep.Class.String(), Providers: op.Dep.Providers}
+		}
+	case OpSwap:
+		wo.Service = strings.ToLower(op.Service.String())
+		wo.From, wo.To = op.From, op.To
+	case OpProviderSet:
+		wo.Name = ""
+		if op.Provider != nil {
+			wo.Provider = &wireProvider{
+				Name:    op.Provider.Name,
+				Service: strings.ToLower(op.Provider.Service.String()),
+				Deps:    toWireDeps(op.Provider.Deps),
+			}
+		}
+	}
+	return wo
+}
+
+func toWireSite(s *Site) *wireSite {
+	ws := &wireSite{Name: s.Name, Rank: s.Rank, Deps: toWireDeps(s.Deps)}
+	if len(s.PrivateInfra) > 0 {
+		ws.PrivateInfra = make(map[string][]string, len(s.PrivateInfra))
+		for svc, infra := range s.PrivateInfra {
+			ws.PrivateInfra[strings.ToLower(svc.String())] = infra
+		}
+	}
+	return ws
+}
+
+func toWireDeps(deps map[Service]Dep) map[string]wireDep {
+	if len(deps) == 0 {
+		return nil
+	}
+	out := make(map[string]wireDep, len(deps))
+	for svc, d := range deps {
+		out[strings.ToLower(svc.String())] = wireDep{Class: d.Class.String(), Providers: d.Providers}
+	}
+	return out
+}

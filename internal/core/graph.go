@@ -121,6 +121,11 @@ type Graph struct {
 	Sites     []*Site
 	Providers map[string]*Provider
 
+	// siteIndex is built lazily on first Site() lookup: at the paper's 100K
+	// scale the name→node map costs more to materialize than everything else
+	// a graph delta touches, and most derived graphs are only ever queried
+	// through the metrics engine.
+	siteOnce  sync.Once
 	siteIndex map[string]*Site
 	// usersOf[service][provider] caches direct site users.
 	usersOf map[Service]map[string][]*Site
@@ -150,7 +155,6 @@ func NewGraph(sites []*Site, providers []*Provider) *Graph {
 	g := &Graph{
 		Sites:           sites,
 		Providers:       make(map[string]*Provider, len(providers)),
-		siteIndex:       make(map[string]*Site, len(sites)),
 		usersOf:         make(map[Service]map[string][]*Site),
 		criticalUsersOf: make(map[Service]map[string][]*Site),
 		providerUsersOf: make(map[string][]*Provider),
@@ -164,7 +168,6 @@ func NewGraph(sites []*Site, providers []*Provider) *Graph {
 		g.Providers[p.Name] = p
 	}
 	for _, s := range sites {
-		g.siteIndex[s.Name] = s
 		for svc, d := range s.Deps {
 			if !d.Class.UsesThird() {
 				continue
@@ -199,8 +202,21 @@ func NewGraph(sites []*Site, providers []*Provider) *Graph {
 	return g
 }
 
-// Site returns a site node by name, or nil.
-func (g *Graph) Site(name string) *Site { return g.siteIndex[name] }
+// Site returns a site node by name, or nil. The index is built on first
+// use; duplicate names resolve to the later node, matching the historical
+// eager index.
+func (g *Graph) Site(name string) *Site {
+	g.siteOnce.Do(g.buildSiteIndex)
+	return g.siteIndex[name]
+}
+
+func (g *Graph) buildSiteIndex() {
+	m := make(map[string]*Site, len(g.Sites))
+	for _, s := range g.Sites {
+		m[s.Name] = s
+	}
+	g.siteIndex = m
+}
 
 // TraversalOpts selects which inter-service edges participate in the
 // transitive concentration/impact computation. The zero value traverses

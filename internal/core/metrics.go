@@ -71,6 +71,7 @@ type MetricsEngine struct {
 	// bases and edges the batch propagation and the outage simulator use.
 	namesOnce sync.Once
 	initOnce  sync.Once
+	initDone  atomic.Bool    // set once init() finished (queried by ApplyDelta)
 	names     []string       // provider id → name (every name a query can hit)
 	ids       map[string]int // provider name → id
 	edges     [][]metricEdge // edges[p] = providers depending on p
@@ -78,6 +79,12 @@ type MetricsEngine struct {
 	// pure integer work shared by every traversal key and both metrics.
 	baseAll  [][]int32 // third-party users of any class + private owners
 	baseCrit [][]int32 // critical users + private owners
+	// siteID assigns each site name a stable bitset index. Unlike the
+	// Sites slice, ids are never reused or shifted: an engine carried
+	// across deltas (ApplyDelta) keeps ids for removed sites and appends
+	// fresh ones for additions, so retained bitsets stay comparable.
+	siteID   map[string]int32
+	nSiteIDs int // bitset width: ids handed out so far
 
 	mu       sync.Mutex
 	workers  int
@@ -117,6 +124,30 @@ type metricsEntry struct {
 
 	conc map[string]int // complete; immutable once published
 	imp  map[string]int
+
+	// ready flips after once's body completes, so ApplyDelta can tell a
+	// fully built entry from one whose first fill is still in flight (the
+	// fields above are unsafe to read until then).
+	ready atomic.Bool
+
+	// Batch fills retain their propagation state (condensation, per-
+	// component site bitsets) so a later ApplyDelta can recompute only the
+	// components reachable from touched names instead of re-propagating
+	// the whole DAG. nil for lazy and promoted-from-lazy entries.
+	stateConc *propState
+	stateImp  *propState
+}
+
+// propState is the retained output of one propagate() pass: the filtered
+// condensation and the per-component dependent-site sets. Immutable after
+// publication; ApplyDelta patches a copy (sharing untouched bitsets).
+type propState struct {
+	comp    []int32   // name id → component
+	members [][]int32 // component → member name ids
+	succ    [][]int32 // component → successor components (always smaller ids)
+	hasBase []bool    // component contributes direct users of its own
+	sets    []bitset  // component → dependent-site bitset
+	counts  []int     // component → popcount of sets
 }
 
 // NewMetricsEngine builds an engine over g with its own cache. Most callers
@@ -252,9 +283,10 @@ func (e *MetricsEngine) entry(opts TraversalOpts) *metricsEntry {
 			ent.lazy.Store(true)
 		} else {
 			e.initOnce.Do(e.init)
-			ent.conc = e.propagate(key, false)
-			ent.imp = e.propagate(key, true)
+			ent.conc, ent.stateConc = e.propagate(key, false)
+			ent.imp, ent.stateImp = e.propagate(key, true)
 		}
+		ent.ready.Store(true)
 	})
 	return ent
 }
@@ -316,30 +348,17 @@ func (e *MetricsEngine) init() {
 	e.namesOnce.Do(e.initNames)
 	g := e.g
 
-	siteID := make(map[string]int32, len(g.Sites))
+	e.siteID = make(map[string]int32, len(g.Sites))
 	for i, s := range g.Sites {
-		if _, ok := siteID[s.Name]; !ok {
-			siteID[s.Name] = int32(i)
+		if _, ok := e.siteID[s.Name]; !ok {
+			e.siteID[s.Name] = int32(i)
 		}
 	}
+	e.nSiteIDs = len(g.Sites)
 	e.baseAll = make([][]int32, len(e.names))
 	e.baseCrit = make([][]int32, len(e.names))
 	for u, name := range e.names {
-		for _, svcUsers := range g.usersOf {
-			for _, s := range svcUsers[name] {
-				e.baseAll[u] = append(e.baseAll[u], siteID[s.Name])
-			}
-		}
-		for _, svcUsers := range g.criticalUsersOf {
-			for _, s := range svcUsers[name] {
-				e.baseCrit[u] = append(e.baseCrit[u], siteID[s.Name])
-			}
-		}
-		for _, s := range g.privateUsersOf[name] {
-			id := siteID[s.Name]
-			e.baseAll[u] = append(e.baseAll[u], id)
-			e.baseCrit[u] = append(e.baseCrit[u], id)
-		}
+		e.baseAll[u], e.baseCrit[u] = siteBaseRows(g, name, e.siteID)
 	}
 
 	e.edges = make([][]metricEdge, len(e.names))
@@ -362,6 +381,29 @@ func (e *MetricsEngine) init() {
 			})
 		}
 	}
+	e.initDone.Store(true)
+}
+
+// siteBaseRows resolves one name's direct-user site id lists — the init()
+// inner loop, shared with the ApplyDelta patch path so both produce
+// identical rows for a given graph.
+func siteBaseRows(g *Graph, name string, siteID map[string]int32) (all, crit []int32) {
+	for _, svcUsers := range g.usersOf {
+		for _, s := range svcUsers[name] {
+			all = append(all, siteID[s.Name])
+		}
+	}
+	for _, svcUsers := range g.criticalUsersOf {
+		for _, s := range svcUsers[name] {
+			crit = append(crit, siteID[s.Name])
+		}
+	}
+	for _, s := range g.privateUsersOf[name] {
+		id := siteID[s.Name]
+		all = append(all, id)
+		crit = append(crit, id)
+	}
+	return all, crit
 }
 
 // providerDependsCritically reports whether k lists pname in a critical
@@ -383,13 +425,15 @@ func providerDependsCritically(k *Provider, pname string) bool {
 // propagate computes one metric (concentration, or impact when critical) for
 // every provider: SCC condensation of the filtered edges, then a sinks-first
 // sweep unioning site bitsets up the DAG, parallel within each depth level.
-func (e *MetricsEngine) propagate(via uint8, critical bool) map[string]int {
+// Alongside the count map it returns the propagation state it built, which
+// the entry retains so ApplyDelta can patch instead of re-propagating.
+func (e *MetricsEngine) propagate(via uint8, critical bool) (map[string]int, *propState) {
 	n := len(e.names)
 	// Degenerate inputs: with no providers or no sites every count is zero.
 	// Return an empty map (lookups yield 0) instead of condensing an empty
 	// graph and allocating a zero-width bitset view per component.
-	if n == 0 || len(e.g.Sites) == 0 {
-		return map[string]int{}
+	if n == 0 || e.nSiteIDs == 0 {
+		return map[string]int{}, nil
 	}
 	base := e.baseAll
 	if critical {
@@ -463,7 +507,7 @@ func (e *MetricsEngine) propagate(via uint8, critical bool) map[string]int {
 		byLevel[level[c]] = append(byLevel[level[c]], int32(c))
 	}
 
-	nSites := len(e.g.Sites)
+	nSites := e.nSiteIDs
 	sets := make([]bitset, ncomp)
 	counts := make([]int, ncomp)
 	workers := e.workerCount()
@@ -498,7 +542,14 @@ func (e *MetricsEngine) propagate(via uint8, critical bool) map[string]int {
 	for u := 0; u < n; u++ {
 		out[e.names[u]] = counts[comp[u]]
 	}
-	return out
+	return out, &propState{
+		comp:    comp,
+		members: members,
+		succ:    succ,
+		hasBase: hasBase,
+		sets:    sets,
+		counts:  counts,
+	}
 }
 
 // tarjanSCC condenses the directed graph into strongly connected components,

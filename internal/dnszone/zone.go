@@ -262,6 +262,19 @@ func (s *Store) ZoneCount() int {
 	return len(s.zones)
 }
 
+// Origins returns every zone origin in the store, sorted — the stable
+// enumeration content fingerprints are built over.
+func (s *Store) Origins() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.zones))
+	for origin := range s.zones {
+		out = append(out, origin)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
 // maxCNAMEChase bounds in-store CNAME chains to defend against loops.
 const maxCNAMEChase = 16
 

@@ -73,6 +73,29 @@ type Config struct {
 	// of the combined DNS heuristic off, for the ablation experiments that
 	// quantify each rule's contribution.
 	DisableSAN, DisableSOA, DisableConcentration bool
+
+	// Checkpoint, when non-nil, resumes from previously recorded progress:
+	// pass-1 NS sets and pass-2 site results whose fingerprints still match
+	// are reused instead of re-measured, and the recorded resolver cache is
+	// seeded back. See checkpoint.go.
+	Checkpoint *Checkpoint
+	// Fingerprints maps site → content fingerprint of everything the
+	// measurement can observe about it (ecosystem.World.SiteFingerprints).
+	// A checkpointed entry is reused only when its recorded fingerprint
+	// equals the current one; with no fingerprints at all, entries match on
+	// equal empty strings — a plain same-universe resume.
+	Fingerprints map[string]string
+	// OnCheckpoint, when set, receives progress snapshots: after pass 1,
+	// every CheckpointEvery site completions during pass 2, and at the end
+	// of the run. The callback owns the snapshot (typically SaveCheckpoint);
+	// a returned error aborts the run.
+	OnCheckpoint func(*Checkpoint) error
+	// CheckpointEvery is the site-completion interval between OnCheckpoint
+	// emissions during pass 2; values < 1 mean len(sites)/10, at least 200.
+	CheckpointEvery int
+	// CheckpointLabel tags emitted checkpoints and guards resume: a prior
+	// checkpoint with a different label is refused.
+	CheckpointLabel string
 }
 
 // Classification is a per-pair verdict.
@@ -216,13 +239,25 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 		diag:   newDiagCollector(),
 	}
 	m.initTelemetry()
+	ck, err := newCkptRun(&cfg, len(sites))
+	if err != nil {
+		return nil, err
+	}
 
 	// Pass 1: NS sets for every site (needed for the concentration signal).
 	resolvePass := telemetry.StartSpan("measure.resolve_pass")
-	nsSets, err := m.collectNS(ctx, sites)
+	nsSets, err := m.collectNS(ctx, sites, ck)
 	resolvePass.End()
 	if err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		for i := range sites {
+			ck.recordNS(sites[i], nsSets[i])
+		}
+		if err := ck.emitNow(); err != nil {
+			return nil, err
+		}
 	}
 	concSignal := concentration(nsSets)
 
@@ -238,6 +273,16 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	sitePass := telemetry.StartSpan("measure.site_pass")
 	res.Sites = make([]SiteResult, len(sites))
 	err = conc.ForEach(ctx, len(sites), cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
+		if ck != nil {
+			if prior := ck.priorResult(sites[i]); prior != nil {
+				// Reuse the checkpointed result, re-anchoring identity and
+				// rank in case the edited universe reordered the list.
+				res.Sites[i] = *prior
+				res.Sites[i].Site, res.Sites[i].Rank = sites[i], i+1
+				ckptReused.Inc()
+				return ck.siteDone(sites[i], &res.Sites[i])
+			}
+		}
 		sc := &SiteContext{
 			Site:   sites[i],
 			Rank:   i + 1,
@@ -247,7 +292,13 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 			m:      m,
 		}
 		sc.Result.Site, sc.Result.Rank = sc.Site, sc.Rank
-		return m.dispatch(ctx, sc)
+		if err := m.dispatch(ctx, sc); err != nil {
+			return err
+		}
+		if ck != nil {
+			return ck.siteDone(sc.Site, sc.Result)
+		}
+		return nil
 	})
 	sitePass.End()
 	if err != nil {
@@ -282,6 +333,13 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	interPass.End()
 	if err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		// Final snapshot: the complete run, usable later as the baseline for
+		// an edited-universe incremental re-measurement.
+		if err := ck.emitNow(); err != nil {
+			return nil, err
+		}
 	}
 	res.Diagnostics = m.diag.snapshot(m.stageOrder(), cfg.Resolver.Stats())
 	res.Telemetry = telemetry.Default.Snapshot()
@@ -337,9 +395,16 @@ func (m *measurer) dispatch(ctx context.Context, sc *SiteContext) error {
 // collectNS performs the NS pass (stage "resolve"). Under conc.Collect an
 // unresolvable site keeps a nil NS set — the DNS stage then reports it
 // uncharacterized — and the error is recorded instead of aborting the run.
-func (m *measurer) collectNS(ctx context.Context, sites []string) ([][]string, error) {
+func (m *measurer) collectNS(ctx context.Context, sites []string, ck *ckptRun) ([][]string, error) {
 	out := make([][]string, len(sites))
 	err := conc.ForEach(ctx, len(sites), m.cfg.Workers, conc.FailFast, func(ctx context.Context, i int) error {
+		if ck != nil {
+			if ns, ok := ck.priorNS(sites[i]); ok {
+				out[i] = ns
+				ckptNSReused.Inc()
+				return nil
+			}
+		}
 		start := time.Now()
 		ns, err := m.cfg.Resolver.NS(ctx, sites[i])
 		m.resolveHist.ObserveDuration(time.Since(start))

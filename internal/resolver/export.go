@@ -1,0 +1,77 @@
+package resolver
+
+import (
+	"sort"
+	"time"
+
+	"depscope/internal/dnsmsg"
+)
+
+// CachedLookup is one exported cache entry: a completed lookup with its
+// absolute expiry. The type is JSON-serializable so measurement checkpoints
+// can persist a warm cache across process restarts.
+type CachedLookup struct {
+	Name      string          `json:"name"`
+	Type      dnsmsg.Type     `json:"type"`
+	Expires   time.Time       `json:"expires"`
+	RCode     dnsmsg.RCode    `json:"rcode"`
+	Answers   []dnsmsg.Record `json:"answers,omitempty"`
+	Authority []dnsmsg.Record `json:"authority,omitempty"`
+}
+
+// ExportCache snapshots every unexpired cache entry across all shards,
+// sorted by (name, type) so the dump is deterministic. In-flight exchanges
+// are not included — only completed, cached results.
+func (r *Resolver) ExportCache() []CachedLookup {
+	now := r.now()
+	var out []CachedLookup
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			if !now.Before(e.expires) {
+				continue
+			}
+			out = append(out, CachedLookup{
+				Name:      key.name,
+				Type:      key.qtype,
+				Expires:   e.expires,
+				RCode:     e.res.RCode,
+				Answers:   e.res.Answers,
+				Authority: e.res.Authority,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// ImportCache seeds the cache with previously exported entries, skipping
+// any whose absolute expiry has already passed. It returns the number of
+// entries actually installed. Existing entries for the same (name, type)
+// are overwritten — the import is intended for a freshly built resolver.
+func (r *Resolver) ImportCache(entries []CachedLookup) int {
+	now := r.now()
+	n := 0
+	for _, e := range entries {
+		if !now.Before(e.Expires) {
+			continue
+		}
+		key := cacheKey{dnsmsg.CanonicalName(e.Name), e.Type}
+		sh := r.shard(key)
+		sh.mu.Lock()
+		sh.entries[key] = cacheEntry{
+			res:     Result{RCode: e.RCode, Answers: e.Answers, Authority: e.Authority},
+			expires: e.Expires,
+		}
+		sh.mu.Unlock()
+		n++
+	}
+	return n
+}

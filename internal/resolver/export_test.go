@@ -1,0 +1,84 @@
+package resolver
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"depscope/internal/dnsmsg"
+	"depscope/internal/dnszone"
+)
+
+func exportTestStore(t *testing.T) *dnszone.Store {
+	t.Helper()
+	z := dnszone.NewZone("example.com.", dnsmsg.SOAData{
+		MName: "ns1.example.com.", RName: "ops.example.com.",
+		Serial: 1, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+	})
+	z.MustAdd(dnsmsg.Record{Name: "example.com.", Type: dnsmsg.TypeNS, TTL: 3600, Target: "ns1.dynmade.net."})
+	z.MustAdd(dnsmsg.Record{Name: "example.com.", Type: dnsmsg.TypeNS, TTL: 3600, Target: "ns2.dynmade.net."})
+	store := dnszone.NewStore()
+	store.AddZone(z)
+	return store
+}
+
+// TestExportImportCache proves a cache dump round-trips: a second resolver
+// seeded with the first one's export answers from cache without touching
+// the transport.
+func TestExportImportCache(t *testing.T) {
+	ctx := context.Background()
+	store := exportTestStore(t)
+	r1 := New(ZoneDirect{Store: store})
+	ns, err := r1.NS(ctx, "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("NS = %v, want 2 hosts", ns)
+	}
+	dump := r1.ExportCache()
+	if len(dump) != 1 {
+		t.Fatalf("ExportCache = %d entries, want 1", len(dump))
+	}
+	if dump[0].Name != "example.com." || dump[0].Type != dnsmsg.TypeNS {
+		t.Fatalf("exported entry = %+v", dump[0])
+	}
+
+	// The second resolver's store is empty, so any transport exchange fails
+	// with REFUSED — a cache hit is the only way to answer.
+	r2 := New(ZoneDirect{Store: dnszone.NewStore()})
+	if got := r2.ImportCache(dump); got != 1 {
+		t.Fatalf("ImportCache = %d, want 1", got)
+	}
+	ns2, err := r2.NS(ctx, "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns2) != 2 {
+		t.Fatalf("resumed NS = %v, want 2 hosts", ns2)
+	}
+	if st := r2.Stats(); st.Hits != 1 {
+		t.Fatalf("import did not serve from cache: stats %+v", st)
+	}
+}
+
+// TestImportCacheSkipsExpired proves absolute expiries survive the dump: an
+// entry expired between export and import is not installed.
+func TestImportCacheSkipsExpired(t *testing.T) {
+	now := time.Now()
+	clock := &now
+	r1 := New(ZoneDirect{Store: exportTestStore(t)}, WithClock(func() time.Time { return *clock }))
+	if _, err := r1.NS(context.Background(), "example.com"); err != nil {
+		t.Fatal(err)
+	}
+	dump := r1.ExportCache()
+	if len(dump) != 1 {
+		t.Fatalf("ExportCache = %d entries, want 1", len(dump))
+	}
+
+	later := now.Add(2 * time.Hour) // past the 3600s record TTL
+	r2 := New(ZoneDirect{Store: dnszone.NewStore()}, WithClock(func() time.Time { return later }))
+	if got := r2.ImportCache(dump); got != 0 {
+		t.Fatalf("ImportCache installed %d expired entries, want 0", got)
+	}
+}

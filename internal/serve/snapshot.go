@@ -84,7 +84,14 @@ type Snapshot struct {
 	Run           *analysis.Run
 
 	views map[string]*snapView
+	// delta records how this snapshot was derived from its predecessor by
+	// Manager.ApplyDelta; nil for snapshots built from scratch.
+	delta *DeltaInfo
 }
+
+// Delta reports how this snapshot was derived from its predecessor via
+// ApplyDelta, or nil for a from-scratch build.
+func (s *Snapshot) Delta() *DeltaInfo { return s.delta }
 
 func newSnapshot(run *analysis.Run, version uint64, seed int64, builtAt time.Time, dur time.Duration) *Snapshot {
 	s := &Snapshot{
@@ -187,6 +194,7 @@ type Manager struct {
 
 	minRetry, maxRetry time.Duration
 	buildInfoSeed      int64
+	allowDelta         bool             // gates POST /v1/delta (WithDeltaAPI)
 	now                func() time.Time // test hook
 }
 
@@ -382,5 +390,7 @@ func Register(mux *http.ServeMux, m *Manager) {
 	mux.Handle("GET /v1/sites", instrument("sites", m.handleSites))
 	mux.Handle("GET /v1/sites/{name}", instrument("site", m.handleSite))
 	mux.Handle("GET /v1/providers", instrument("providers", m.handleProviders))
+	mux.Handle("POST /v1/delta", instrument("delta", m.handleDelta))
+	mux.Handle("GET /v1/diff", instrument("diff", m.handleDiff))
 	mux.Handle("/incident", instrument("incident", m.handleIncident))
 }
