@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt examples race golden verify alloc-guards bench bench-pipeline bench-incident bench-delta bench-compare loadtest loadtest-smoke
+.PHONY: all build test vet fmt examples race golden verify alloc-guards docs-check bench bench-pipeline bench-incident bench-delta bench-compare loadtest loadtest-smoke
 
 all: build test
 
@@ -28,11 +28,12 @@ examples:
 race:
 	$(GO) test -race ./...
 
-# golden re-runs the Dyn-replay pinning test on its own (-count=1 bypasses
-# the test cache) so an intentional incident-report change surfaces the new
-# hash to pin.
+# golden re-runs the byte-pinning tests on their own (-count=1 bypasses the
+# test cache) so an intentional report-shape change surfaces the new hashes
+# to pin: the Dyn replay, the mc-baseline Monte-Carlo sweep, and the K=25
+# mitigation plan.
 golden:
-	$(GO) test -run TestDynReplayGolden -count=1 -v ./internal/incident/
+	$(GO) test -run 'Golden' -count=1 -v ./internal/incident/
 
 # alloc-guards re-runs the allocation-budget tests on their own (-count=1
 # bypasses the test cache): resolver cache hits, interner hit paths and the
@@ -40,13 +41,21 @@ golden:
 alloc-guards:
 	$(GO) test -run 'Alloc' -count=1 ./internal/resolver/ ./internal/measure/ ./internal/intern/
 
+# docs-check re-runs the documentation drift tests on their own (-count=1
+# bypasses the test cache): every relative link/anchor in the curated docs
+# must resolve, and every flag documented in a flag table must exist in a
+# cmd/ binary.
+docs-check:
+	$(GO) test -run 'TestDoc' -count=1 .
+
 # verify is the full pre-merge gate: compile, static checks, formatting
 # (gofmt -l walks the whole tree, internal/intern included), the plain
 # suite, the race-enabled suite (which covers the pipeline cancellation,
-# simulation-abort and pool-shutdown tests), the Dyn-replay golden test,
-# the allocation budgets, the example builds, and a small end-to-end load
-# smoke of the query API (depserver + depload, scale 300, 1s).
-verify: build vet fmt test race golden examples alloc-guards loadtest-smoke
+# simulation-abort and pool-shutdown tests), the golden byte-pinning tests,
+# the allocation budgets, the example builds, the documentation drift
+# checks, and a small end-to-end load smoke of the query API (depserver +
+# depload, scale 300, 1s).
+verify: build vet fmt test race golden examples alloc-guards docs-check loadtest-smoke
 
 # loadtest runs the recorded serve load measurement: a prewarmed depserver
 # at scale 2000 driven by cmd/depload over the default endpoint mix, with

@@ -6,20 +6,25 @@
 // Usage:
 //
 //	depscope [-scale N] [-seed S] [-workers W] [-experiment name] [-incident scenario]
-//	         [-checkpoint file [-resume]] [-timeline stream.json]
+//	         [-sweep spec] [-mitigate K] [-checkpoint file [-resume]] [-timeline stream.json]
 //
 // With -experiment, only the named table/figure is printed (e.g. "table3",
 // "figure5", "figure7"). With -incident, a what-if outage scenario (a JSON
 // file or a preset such as "dyn-replay") is simulated and its impact report
-// printed instead. With -checkpoint, measurement progress is saved as the
-// run advances (one file per snapshot) and -resume picks a prior run back up
-// from those files instead of restarting. With -timeline, a delta stream is
-// replayed against the measured run and its evolution table printed (see
-// docs/incremental.md).
+// printed instead. With -sweep, a Monte-Carlo sweep spec (a JSON file or a
+// preset such as "mc-baseline") samples thousands of randomized failure
+// scenarios and prints the damage distribution; with -mitigate K, the greedy
+// optimizer prints the K sites that should add a second provider to shrink
+// aggregate impact the most (see docs/risk.md). With -checkpoint,
+// measurement progress is saved as the run advances (one file per snapshot)
+// and -resume picks a prior run back up from those files instead of
+// restarting. With -timeline, a delta stream is replayed against the
+// measured run and its evolution table printed (see docs/incremental.md).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +39,28 @@ import (
 	"depscope/internal/incident"
 	"depscope/internal/telemetry"
 )
+
+// loadSweep resolves the -sweep argument: a path to a sweep-spec JSON file,
+// or the name of a built-in Monte-Carlo preset.
+func loadSweep(arg string) (*incident.SweepSpec, error) {
+	if _, err := os.Stat(arg); err == nil {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sp, err := incident.ParseSweep(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arg, err)
+		}
+		return sp, nil
+	}
+	if sp, ok := incident.SweepPreset(arg); ok {
+		return sp, nil
+	}
+	return nil, fmt.Errorf("unknown sweep spec %q: not a file, and not a preset (%s)",
+		arg, strings.Join(incident.SweepPresetNames(), ", "))
+}
 
 // loadScenario resolves the -incident argument: a path to a scenario JSON
 // file, or the name of a built-in preset.
@@ -76,6 +103,8 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "checkpoint measurement progress to this path (one file per snapshot: <path>.2016, <path>.2020)")
 		resume     = flag.Bool("resume", false, "resume from the -checkpoint files of an earlier run (they must exist); only sites whose content changed are re-measured")
 		timelineIn = flag.String("timeline", "", "replay a delta-stream JSON file against the measured run and print the evolution table (see docs/incremental.md)")
+		sweepIn    = flag.String("sweep", "", "Monte-Carlo incident sweep: a sweep-spec JSON file or a preset name (see docs/risk.md)")
+		mitigateK  = flag.Int("mitigate", 0, "print a greedy mitigation plan: the K sites that should add a second provider to shrink aggregate impact the most (see docs/risk.md)")
 	)
 	flag.Parse()
 	if *showTelem {
@@ -98,6 +127,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	var sweep *incident.SweepSpec
+	if *sweepIn != "" {
+		sweep, err = loadSweep(*sweepIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *mitigateK < 0 {
+		log.Fatal("-mitigate must be positive")
 	}
 	// Same fail-fast treatment for the other pre-run inputs: a bad delta
 	// stream or a -resume without its checkpoint should not cost a run.
@@ -238,6 +277,40 @@ func main() {
 			log.Fatal(err)
 		}
 		rep.WriteText(os.Stdout)
+		errorFooter()
+		return
+	}
+	if sweep != nil {
+		rep, err := analysis.MonteCarloSweep(context.Background(), run, sweep, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			rep.WriteText(os.Stdout)
+		}
+		errorFooter()
+		return
+	}
+	if *mitigateK > 0 {
+		plan, err := analysis.Mitigation(run, *mitigateK, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(plan); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			analysis.WriteMitigationText(os.Stdout, plan)
+		}
 		errorFooter()
 		return
 	}

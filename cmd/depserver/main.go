@@ -4,10 +4,10 @@
 // pipeline analyzes.
 //
 // With -http it additionally serves an operator endpoint: the snapshot-
-// backed query API (/v1/sites, /v1/providers, /v1/snapshot, /incident —
-// see docs/serving.md), the process-wide telemetry registry as Prometheus
-// text (/metrics), expvar (/debug/vars) and the standard pprof profiles
-// (/debug/pprof/). See docs/observability.md.
+// backed query API (/v1/sites, /v1/providers, /v1/snapshot, /v1/sweep,
+// /v1/mitigation, /incident — see docs/serving.md), the process-wide
+// telemetry registry as Prometheus text (/metrics), expvar (/debug/vars)
+// and the standard pprof profiles (/debug/pprof/). See docs/observability.md.
 //
 // Usage:
 //

@@ -109,7 +109,7 @@ if [ "$suite" = "compare" ]; then
 		-benchmem -benchtime "$benchtime" ./... | tee "$raw"
 	go test -run '^$' -bench 'BenchmarkMeasureRun$|BenchmarkTelemetryOverhead$' \
 		-benchmem -benchtime 2x ./internal/measure/ | tee -a "$raw"
-	go test -run '^$' -bench 'BenchmarkIncidentSweep$' \
+	go test -run '^$' -bench 'BenchmarkIncidentSweep$|BenchmarkIncidentMonteCarlo$' \
 		-benchmem -benchtime 5x ./internal/incident/ | tee -a "$raw"
 
 	fresh=$(mktemp)
@@ -240,9 +240,10 @@ fi
 
 if [ "$suite" = "incident" ] || [ "$suite" = "all" ]; then
 	out=BENCH_incident.json
-	# One iteration sweeps 100 single-provider scenarios; a handful of
-	# iterations averages warm caches without dragging the suite out.
-	go test -run '^$' -bench 'BenchmarkIncidentSweep$' \
+	# One iteration sweeps 100 single-provider scenarios (deterministic) or
+	# samples 1000 Monte-Carlo draws (randomized); a handful of iterations
+	# averages warm caches without dragging the suite out.
+	go test -run '^$' -bench 'BenchmarkIncidentSweep$|BenchmarkIncidentMonteCarlo$' \
 		-benchmem -benchtime 5x ./internal/incident/ | tee "$raw"
 	{
 		echo "["

@@ -1,0 +1,165 @@
+package depscope
+
+// Documentation drift checks, wired into `make docs-check` (and through it
+// into `make verify`). Two invariants:
+//
+//   - every relative markdown link (and its #anchor, if any) in the curated
+//     docs resolves to a real file and a real heading;
+//   - every flag documented in a flag table (`| `-name ...` rows) is an
+//     actual flag.Xxx("name", ...) definition in some cmd/ binary.
+//
+// Both walk the committed sources, so they need no network and no build
+// artifacts; a doc edit that invents a flag or breaks a link fails go test.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// curatedDocs returns the markdown files whose links and flag tables are
+// kept in sync with the code: the top-level narrative docs plus docs/*.md.
+// Reference dumps (PAPER.md, PAPERS.md, SNIPPETS.md) and the transient
+// ISSUE.md are deliberately excluded.
+func curatedDocs(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"}
+	extra, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, extra...)
+}
+
+// slugify reduces a heading to its GitHub anchor: lowercase, punctuation
+// stripped, spaces replaced by hyphens.
+func slugify(heading string) string {
+	heading = strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors returns the set of GitHub anchor slugs for every markdown
+// heading in the file, skipping fenced code blocks (where a leading # is a
+// shell comment, not a heading).
+func headingAnchors(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || !strings.HasPrefix(text, " ") {
+			continue
+		}
+		// GitHub drops inline-code backticks before slugging.
+		anchors[slugify(strings.ReplaceAll(text, "`", ""))] = true
+	}
+	return anchors
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve checks that every relative link in the curated docs
+// points at an existing file, and that every #anchor names a real heading
+// in its target.
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range curatedDocs(t) {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			link := m[1]
+			if strings.Contains(link, "://") || strings.HasPrefix(link, "mailto:") {
+				continue
+			}
+			target, anchor := link, ""
+			if i := strings.IndexByte(link, '#'); i >= 0 {
+				target, anchor = link[:i], link[i+1:]
+			}
+			resolved := doc // same-file anchor
+			if target != "" {
+				resolved = filepath.Join(filepath.Dir(doc), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", doc, link, err)
+					continue
+				}
+			}
+			if anchor == "" || !strings.HasSuffix(resolved, ".md") {
+				continue
+			}
+			if !headingAnchors(t, resolved)[anchor] {
+				t.Errorf("%s: link %q: no heading in %s slugs to #%s", doc, link, resolved, anchor)
+			}
+		}
+	}
+}
+
+var (
+	flagDef = regexp.MustCompile(`flag\.(?:Bool|Int|Int64|Uint|Uint64|String|Duration|Float64)\("([a-zA-Z0-9-]+)"`)
+	flagDoc = regexp.MustCompile("`-([a-zA-Z0-9-]+)")
+)
+
+// TestDocumentedFlagsExist checks that every flag named in a flag-table row
+// (lines of the form "| `-name ...`") of the curated docs is defined by
+// some binary under cmd/ — catching tables that drift from the code.
+func TestDocumentedFlagsExist(t *testing.T) {
+	sources, err := filepath.Glob("cmd/*/*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) == 0 {
+		t.Fatal("no cmd/ sources found")
+	}
+	defined := map[string]bool{}
+	for _, src := range sources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range flagDef.FindAllStringSubmatch(string(data), -1) {
+			defined[m[1]] = true
+		}
+	}
+	if len(defined) == 0 {
+		t.Fatal("no flag definitions found under cmd/")
+	}
+	for _, doc := range curatedDocs(t) {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		for n, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "| `-") {
+				continue
+			}
+			for _, m := range flagDoc.FindAllStringSubmatch(line, -1) {
+				if !defined[m[1]] {
+					t.Errorf("%s:%d: documents flag -%s, which no cmd/ binary defines", doc, n+1, m[1])
+				}
+			}
+		}
+	}
+}

@@ -36,6 +36,7 @@ var reportSteps = []struct {
 	{"hidden_deps", RenderHiddenDeps},
 	{"critical_deps", RenderCriticalDeps},
 	{"dyn_replay", RenderDynReplay},
+	{"mitigation", RenderMitigation},
 }
 
 // Report writes every table and figure of the evaluation to w, in paper

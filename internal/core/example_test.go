@@ -51,3 +51,25 @@ func ExampleGraph_RobustnessOf() {
 	// Output:
 	// score 0.5, critical providers [C]
 }
+
+// ExampleGraph_MitigationPlan asks the constructive question: which sites
+// should add a second provider to shrink aggregate impact the most?
+func ExampleGraph_MitigationPlan() {
+	g := core.NewGraph([]*core.Site{
+		{Name: "twitter.com", Rank: 1, Deps: map[core.Service]core.Dep{
+			core.DNS: {Class: core.ClassSingleThird, Providers: []string{"Dyn"}},
+		}},
+		{Name: "pinterest.com", Rank: 2, Deps: map[core.Service]core.Dep{
+			core.CDN: {Class: core.ClassSingleThird, Providers: []string{"Fastly"}},
+		}},
+	}, []*core.Provider{
+		{Name: "Fastly", Service: core.CDN, Deps: map[core.Service]core.Dep{
+			core.DNS: {Class: core.ClassSingleThird, Providers: []string{"Dyn"}},
+		}},
+	})
+	plan := g.MitigationPlan(1, core.AllIndirect())
+	o := plan.Options[0]
+	fmt.Printf("add a second %s to %s: impact %d -> %d\n",
+		o.Service, o.Site, plan.Before, plan.After)
+	// Output: add a second CDN to pinterest.com: impact 3 -> 1
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mitigationFixture builds a small graph with hand-checkable closures:
+//
+//	s1: DNS single dynect                        → contributes {dynect}
+//	s2: DNS multi {dynect,awsdns}, CDN single fastly (fastly→DNS dynect)
+//	                                             → contributes {fastly,dynect}
+//	s3: DNS single awsdns, CA single digicert (digicert→DNS awsdns)
+//	                                             → contributes {awsdns,digicert}
+//	s4: private CDN cdn.s4 (cdn.s4→DNS dynect)   → contributes {cdn.s4,dynect}
+//
+// Aggregate before = 1+2+2+2 = 7. Called fresh per use so surgery tests can
+// mutate their copy.
+func mitigationFixture() *Graph {
+	sites := []*Site{
+		{Name: "s1", Rank: 1, Deps: map[Service]Dep{
+			DNS: {Class: ClassSingleThird, Providers: []string{"dynect.net"}},
+		}},
+		{Name: "s2", Rank: 2, Deps: map[Service]Dep{
+			DNS: {Class: ClassMultiThird, Providers: []string{"dynect.net", "awsdns.net"}},
+			CDN: {Class: ClassSingleThird, Providers: []string{"fastly.net"}},
+		}},
+		{Name: "s3", Rank: 3, Deps: map[Service]Dep{
+			DNS: {Class: ClassSingleThird, Providers: []string{"awsdns.net"}},
+			CA:  {Class: ClassSingleThird, Providers: []string{"digicert.com"}},
+		}},
+		{Name: "s4", Rank: 4,
+			Deps: map[Service]Dep{
+				DNS: {Class: ClassPrivate},
+			},
+			PrivateInfra: map[Service][]string{
+				CDN: {"cdn.s4.com"},
+			}},
+	}
+	providers := []*Provider{
+		{Name: "fastly.net", Service: CDN, Deps: map[Service]Dep{
+			DNS: {Class: ClassSingleThird, Providers: []string{"dynect.net"}},
+		}},
+		{Name: "cdn.s4.com", Service: CDN, Deps: map[Service]Dep{
+			DNS: {Class: ClassSingleThird, Providers: []string{"dynect.net"}},
+		}},
+		{Name: "digicert.com", Service: CA, Deps: map[Service]Dep{
+			DNS: {Class: ClassSingleThird, Providers: []string{"awsdns.net"}},
+		}},
+	}
+	return NewGraph(sites, providers)
+}
+
+func TestMitigationPlanSmall(t *testing.T) {
+	g := mitigationFixture()
+	plan := g.MitigationPlan(10, AllIndirect())
+
+	if plan.Before != 7 {
+		t.Fatalf("before = %d, want 7", plan.Before)
+	}
+	if plan.Candidates != 4 {
+		t.Fatalf("candidates = %d, want 4 (s1 DNS, s2 CDN, s3 DNS, s3 CA)", plan.Candidates)
+	}
+	// Greedy order: s2 CDN removes {fastly,dynect} (gain 2); then s1 DNS and
+	// s3 CA tie at gain 1 and break by site order; after s3 CA is picked,
+	// s3 DNS's awsdns is no longer shadowed (gain 1). s4's private chain is
+	// not mitigable, so its {cdn.s4,dynect} contribution stays.
+	want := []MitigationOption{
+		{Site: "s2", Rank: 2, Service: "CDN", Provider: "fastly.net", Gain: 2, Cumulative: 2},
+		{Site: "s1", Rank: 1, Service: "DNS", Provider: "dynect.net", Gain: 1, Cumulative: 3},
+		{Site: "s3", Rank: 3, Service: "CA", Provider: "digicert.com", Gain: 1, Cumulative: 4},
+		{Site: "s3", Rank: 3, Service: "DNS", Provider: "awsdns.net", Gain: 1, Cumulative: 5},
+	}
+	if !reflect.DeepEqual(plan.Options, want) {
+		t.Fatalf("options = %+v\nwant %+v", plan.Options, want)
+	}
+	if plan.After != 2 || plan.Reduction() != 5 {
+		t.Fatalf("after = %d (reduction %d), want after 2, reduction 5", plan.After, plan.Reduction())
+	}
+
+	// Per-provider deltas: dynect loses s1 and s2 but keeps s4 (private);
+	// the rest drop to zero.
+	wantDeltas := []ProviderImpactDelta{
+		{Name: "dynect.net", Before: 3, After: 1},
+		{Name: "awsdns.net", Before: 1, After: 0},
+		{Name: "digicert.com", Before: 1, After: 0},
+		{Name: "fastly.net", Before: 1, After: 0},
+	}
+	if !reflect.DeepEqual(plan.ProviderDeltas, wantDeltas) {
+		t.Fatalf("deltas = %+v\nwant %+v", plan.ProviderDeltas, wantDeltas)
+	}
+
+	// A tighter budget truncates the same greedy sequence.
+	k2 := g.MitigationPlan(2, AllIndirect())
+	if !reflect.DeepEqual(k2.Options, want[:2]) || k2.After != 4 {
+		t.Fatalf("k=2 options = %+v, after = %d", k2.Options, k2.After)
+	}
+}
+
+// TestMitigationBeforeMatchesEngine pins the objective decomposition: the
+// optimizer's "before" total must equal Σ_p |I_p| from the metrics engine,
+// for every traversal, across random graphs.
+func TestMitigationBeforeMatchesEngine(t *testing.T) {
+	traversals := []TraversalOpts{
+		AllIndirect(),
+		DirectOnly(),
+		{ViaProviders: []Service{DNS}},
+		{ViaProviders: []Service{CDN, CA}},
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		g := randomGraph(seed)
+		for _, opts := range traversals {
+			plan := g.MitigationPlan(1, opts)
+			_, imp := g.Metrics().Counts(opts)
+			sum := 0
+			for _, n := range imp {
+				sum += n
+			}
+			if plan.Before != sum {
+				t.Fatalf("seed %d opts %+v: plan before = %d, engine Σ|I_p| = %d",
+					seed, opts, plan.Before, sum)
+			}
+		}
+	}
+}
+
+// applyPlan performs the graph surgery a mitigation plan prescribes: each
+// chosen arrangement gains a fresh backup provider and becomes multi-third
+// (no longer critical).
+func applyPlan(g *Graph, plan *MitigationPlan) *Graph {
+	byName := make(map[string]*Site, len(g.Sites))
+	sites := make([]*Site, len(g.Sites))
+	for i, s := range g.Sites {
+		cp := *s
+		cp.Deps = make(map[Service]Dep, len(s.Deps))
+		for svc, d := range s.Deps {
+			cp.Deps[svc] = d
+		}
+		sites[i] = &cp
+		byName[cp.Name] = &cp
+	}
+	var providers []*Provider
+	for _, p := range g.Providers {
+		providers = append(providers, p)
+	}
+	for i, o := range plan.Options {
+		var svc Service
+		for _, s := range Services {
+			if s.String() == o.Service {
+				svc = s
+			}
+		}
+		site := byName[o.Site]
+		d := site.Deps[svc]
+		d.Class = ClassMultiThird
+		d.Providers = append(append([]string(nil), d.Providers...), "backup"+itoa(i)+".example")
+		site.Deps[svc] = d
+	}
+	return NewGraph(sites, providers)
+}
+
+// TestMitigationAfterMatchesSurgery verifies the predicted "after" total the
+// hard way: actually apply every option to a copy of the graph, rebuild it,
+// and recompute Σ_p |I_p| with the engine.
+func TestMitigationAfterMatchesSurgery(t *testing.T) {
+	opts := AllIndirect()
+	for seed := int64(0); seed < 40; seed++ {
+		g := randomGraph(seed)
+		for _, k := range []int{1, 3, 1000} {
+			plan := g.MitigationPlan(k, opts)
+			_, imp := applyPlan(g, plan).Metrics().Counts(opts)
+			sum := 0
+			for _, n := range imp {
+				sum += n
+			}
+			if sum != plan.After {
+				t.Fatalf("seed %d k=%d: surgery Σ|I_p| = %d, plan predicted after = %d (before %d, options %+v)",
+					seed, k, sum, plan.After, plan.Before, plan.Options)
+			}
+		}
+	}
+}
+
+// TestMitigationDeterministic pins that repeated runs produce identical
+// plans (the heap tie-breaks are total).
+func TestMitigationDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := randomGraph(seed).MitigationPlan(5, AllIndirect())
+		b := randomGraph(seed).MitigationPlan(5, AllIndirect())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+func TestMitigationDegenerate(t *testing.T) {
+	g := mitigationFixture()
+	if p := g.MitigationPlan(0, AllIndirect()); len(p.Options) != 0 || p.Before != 0 {
+		t.Fatalf("k=0 plan should be empty, got %+v", p)
+	}
+	empty := NewGraph(nil, nil)
+	if p := empty.MitigationPlan(5, AllIndirect()); len(p.Options) != 0 {
+		t.Fatalf("empty-graph plan should have no options, got %+v", p)
+	}
+}

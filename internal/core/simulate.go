@@ -406,6 +406,100 @@ func (s *OutageSim) Run(targets []string, o OutageOpts) *OutageResult {
 // values are the canonical 0..len(Services)-1 range.
 const numServices = 3
 
+// ProviderID resolves a provider name to its simulator id — the currency of
+// RunCounts target lists. Sampling loops resolve names once up front and
+// then work in pure integers.
+func (s *OutageSim) ProviderID(name string) (int32, bool) {
+	id, ok := s.e.ids[name]
+	return int32(id), ok
+}
+
+// ProviderNameOf is the inverse of ProviderID.
+func (s *OutageSim) ProviderNameOf(id int32) string {
+	return s.e.names[id]
+}
+
+// SimScratch holds the reusable per-run state of RunCounts so a sampling
+// loop running thousands of simulations allocates nothing after the first.
+// A SimScratch must not be shared between concurrent RunCounts calls; give
+// each worker its own.
+type SimScratch struct {
+	state []ProviderState
+	queue []int32
+}
+
+// RunCounts simulates the outage of the given provider ids under o and
+// returns only the aggregate outcome counts. It is the Monte-Carlo inner
+// loop: the same cascade and site classification as Run, minus every
+// allocation Run spends on the full report (outcome slices, resilience
+// scores, provider name lists). Unknown ids are the caller's bug; obtain
+// ids via ProviderID.
+func (s *OutageSim) RunCounts(targets []int32, o OutageOpts, sc *SimScratch) (down, degraded int) {
+	n := len(s.e.names)
+	if cap(sc.state) < n {
+		sc.state = make([]ProviderState, n)
+	}
+	state := sc.state[:n]
+	for i := range state {
+		state[i] = ProviderUp
+	}
+	targetState := ProviderDown
+	if o.Severity > 0 && o.Severity < 1 {
+		targetState = ProviderDegraded
+	}
+	queue := sc.queue[:0]
+	for _, id := range targets {
+		if state[id] < targetState {
+			state[id] = targetState
+			queue = append(queue, id)
+		}
+	}
+	if len(queue) == 0 {
+		sc.queue = queue
+		return 0, 0
+	}
+
+	// The same worklist fixpoint as Run: states only escalate, so the
+	// cascade converges through provider cycles.
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ed := range s.e.edges[p] {
+			if s.via&(1<<uint(ed.svc)) == 0 {
+				continue
+			}
+			k := ed.to
+			if state[k] == ProviderDown {
+				continue
+			}
+			if ns := s.providerState(k, state, o.JointFailures); ns > state[k] {
+				state[k] = ns
+				queue = append(queue, k)
+			}
+		}
+	}
+	sc.queue = queue
+
+	for i := range s.g.Sites {
+		worst := ProviderUp
+		for _, a := range s.siteArrs[i] {
+			if as := arrState(a, state, o.JointFailures); as > worst {
+				worst = as
+				if worst == ProviderDown {
+					break
+				}
+			}
+		}
+		switch worst {
+		case ProviderDown:
+			down++
+		case ProviderDegraded:
+			degraded++
+		}
+	}
+	return down, degraded
+}
+
 // ProviderNames returns every provider name the metrics engine (and thus
 // the simulator) knows: declared providers, names sites use as third
 // parties, private-infrastructure nodes and depended-upon names. Sorted.

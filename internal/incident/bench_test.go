@@ -73,3 +73,24 @@ func BenchmarkIncidentSweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIncidentMonteCarlo samples 1000 C_p-weighted randomized failure
+// scenarios per iteration at scale 2K (the mc-baseline shape) and reports
+// scenarios/sec alongside ns/op — the other half of BENCH_incident.json.
+func BenchmarkIncidentMonteCarlo(b *testing.B) {
+	g, _ := sweepFixture(b)
+	const scenarios = 1000
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := &incident.SweepSpec{Name: "bench-mc", Scenarios: scenarios, Seed: 1}
+		rep, err := incident.MonteCarlo(context.Background(), g, spec, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Scenarios != scenarios {
+			b.Fatalf("ran %d scenarios, want %d", rep.Scenarios, scenarios)
+		}
+	}
+	b.ReportMetric(float64(scenarios*b.N)/b.Elapsed().Seconds(), "scenarios/sec")
+}

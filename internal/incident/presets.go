@@ -65,6 +65,79 @@ var presets = map[string]func() *Scenario{
 	},
 }
 
+// sweepPresets are the built-in Monte-Carlo sweeps, addressable by name
+// from the depscope -sweep flag and the depserver /v1/sweep endpoint.
+var sweepPresets = map[string]func() *SweepSpec{
+	// The all-services baseline: C_p-weighted independent failures over the
+	// 100 largest providers of each service type.
+	"mc-baseline": func() *SweepSpec {
+		return &SweepSpec{
+			Name:        "mc-baseline",
+			Description: "C_p-weighted independent failures across the top-100 providers of every service",
+			Scenarios:   2000,
+			Seed:        1,
+		}
+	},
+	// Correlated entity storms: one operating entity's identities fail as a
+	// unit (the paper's TLD/SOA grouping rule), at a higher base rate.
+	"mc-entity-storm": func() *SweepSpec {
+		return &SweepSpec{
+			Name:        "mc-entity-storm",
+			Description: "correlated failures by operating entity: one company's provider identities fall together",
+			Scenarios:   2000,
+			Seed:        1,
+			BaseProb:    0.03,
+			Correlate:   "entity",
+		}
+	},
+	// DNS-only deep sweep with redundancy exhaustion: the whole DNS pool is
+	// in scope and multi-provider arrangements can lose all their providers.
+	"mc-dns-deep": func() *SweepSpec {
+		return &SweepSpec{
+			Name:          "mc-dns-deep",
+			Description:   "DNS-only sweep over the full provider pool with joint-failure (redundancy exhaustion) semantics",
+			Scenarios:     2000,
+			Seed:          1,
+			Service:       "dns",
+			TopN:          -1,
+			JointFailures: true,
+		}
+	},
+	// The Dyn incident with randomized recovery: the failure set is pinned
+	// to dynect.net against 2016 and the draws drive only the exponential
+	// time-to-recover curves.
+	"mc-dyn-recovery": func() *SweepSpec {
+		return &SweepSpec{
+			Name:        "mc-dyn-recovery",
+			Description: "Dyn replay with sampled recovery: fixed dynect.net failure, exponential time-to-recover (mean 2h)",
+			Snapshot:    "2016",
+			Scenarios:   1000,
+			Seed:        1,
+			Targets:     &Targets{Providers: []string{"dynect.net"}},
+			Recovery:    &RecoverySpec{Steps: 8, MeanMinutes: 120},
+		}
+	},
+}
+
+// SweepPreset returns a fresh copy of a built-in Monte-Carlo sweep.
+func SweepPreset(name string) (*SweepSpec, bool) {
+	mk, ok := sweepPresets[name]
+	if !ok {
+		return nil, false
+	}
+	return mk(), true
+}
+
+// SweepPresetNames lists the built-in sweeps, sorted.
+func SweepPresetNames() []string {
+	out := make([]string, 0, len(sweepPresets))
+	for name := range sweepPresets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Preset returns a fresh copy of a built-in scenario.
 func Preset(name string) (*Scenario, bool) {
 	mk, ok := presets[name]

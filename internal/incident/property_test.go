@@ -162,3 +162,74 @@ func TestDynReplayGolden(t *testing.T) {
 		t.Errorf("Dyn-replay report hash %s, want pinned %s\nreport:\n%s", got, dynReplayGolden, b)
 	}
 }
+
+// sweepGolden pins the mc-baseline Monte-Carlo sweep at scale 2000, seed
+// 2020 — the seeded-determinism acceptance gate. Scenario i draws from a
+// splitmix of (seed, i), so the hash is stable across worker counts and
+// machines. After an intentional report-shape change, rerun
+//
+//	go test ./internal/incident -run TestSweepGolden -v
+//
+// and pin the new hash the failure message prints.
+const sweepGolden = "9e2e26cda72547891cf0f3bf19e9251acfce014227a26da62f72eeea24cc6eda"
+
+// TestSweepGolden pins the Monte-Carlo baseline sweep output.
+func TestSweepGolden(t *testing.T) {
+	run := runAt(t, 2020)
+	sp, ok := incident.SweepPreset("mc-baseline")
+	if !ok {
+		t.Fatal("mc-baseline preset missing")
+	}
+	rep, err := analysis.MonteCarloSweep(context.Background(), run, sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural sanity before the byte pin: a 2000-scenario C_p-weighted
+	// sweep over the measured 2K universe must observe damage.
+	if rep.Scenarios < 1000 || rep.Down.Max == 0 || len(rep.Attribution) == 0 {
+		t.Fatalf("degenerate sweep: %+v", rep)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	if got := hex.EncodeToString(sum[:]); got != sweepGolden {
+		t.Errorf("sweep report hash %s, want pinned %s\nreport:\n%s", got, sweepGolden, b)
+	}
+}
+
+// mitigationGolden pins the K=25 mitigation plan for the 2020 snapshot at
+// scale 2000, seed 2020. Same re-pin procedure as the other goldens.
+const mitigationGolden = "d9f0e537eb1a842991348adf441c8bf082c219e8657e3e474707bdeec510566e"
+
+// TestMitigationGolden pins the mitigation optimizer's plan and re-proves
+// its before-total against the metric engine at measured scale.
+func TestMitigationGolden(t *testing.T) {
+	run := runAt(t, 2020)
+	plan, err := analysis.Mitigation(run, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Options) == 0 || plan.Reduction() <= 0 {
+		t.Fatalf("degenerate plan: %+v", plan)
+	}
+	// The optimizer's aggregate-before must equal Σ_p |I_p| from the engine
+	// on the measured graph, not just on synthetic fixtures.
+	_, imp := run.Y2020.Graph.Metrics().Counts(core.AllIndirect())
+	sum := 0
+	for _, n := range imp {
+		sum += n
+	}
+	if plan.Before != sum {
+		t.Fatalf("plan before = %d, engine Σ|I_p| = %d", plan.Before, sum)
+	}
+	b, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(b)
+	if got := hex.EncodeToString(h[:]); got != mitigationGolden {
+		t.Errorf("mitigation plan hash %s, want pinned %s\nplan:\n%s", got, mitigationGolden, b)
+	}
+}

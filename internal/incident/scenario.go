@@ -146,11 +146,17 @@ func (s *Scenario) Validate() error {
 
 // traversal resolves Via onto the metric engine's TraversalOpts.
 func (s *Scenario) traversal() (core.TraversalOpts, error) {
-	if len(s.Via) == 0 {
+	return viaTraversal(s.Via)
+}
+
+// viaTraversal resolves a via list (scenario or sweep) onto the metric
+// engine's TraversalOpts; empty means all service types.
+func viaTraversal(via []string) (core.TraversalOpts, error) {
+	if len(via) == 0 {
 		return core.AllIndirect(), nil
 	}
 	var opts core.TraversalOpts
-	for _, v := range s.Via {
+	for _, v := range via {
 		svc, err := parseService(v)
 		if err != nil {
 			return opts, err

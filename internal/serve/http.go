@@ -322,6 +322,78 @@ func (m *Manager) handleIncident(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// handleSweep answers:
+//
+//	GET  /v1/sweep              — list the built-in sweep presets (no build)
+//	GET  /v1/sweep?preset=NAME  — run a preset Monte-Carlo sweep
+//	POST /v1/sweep              — run the sweep spec JSON in the body
+func (m *Manager) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sp *incident.SweepSpec
+	switch r.Method {
+	case http.MethodGet:
+		name := r.URL.Query().Get("preset")
+		if name == "" {
+			writeJSON(w, http.StatusOK, map[string]any{"presets": incident.SweepPresetNames()})
+			return
+		}
+		var ok bool
+		if sp, ok = incident.SweepPreset(name); !ok {
+			httpError(w, http.StatusBadRequest, "unknown sweep preset %q (have: %s)",
+				name, strings.Join(incident.SweepPresetNames(), ", "))
+			return
+		}
+	case http.MethodPost:
+		var err error
+		if sp, err = incident.ParseSweep(r.Body); err != nil {
+			httpError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	s := m.snapshot(w, r)
+	if s == nil {
+		return
+	}
+	rep, err := analysis.MonteCarloSweep(r.Context(), s.Run, sp, 0)
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			httpError(w, http.StatusRequestTimeout, "request cancelled: %v", err)
+			return
+		}
+		// The spec parsed but does not apply to this world (unknown provider,
+		// missing snapshot, empty pool, ...): the request is at fault.
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleMitigation serves the greedy mitigation plan:
+//
+//	GET /v1/mitigation?k=10&snapshot=2020
+func (m *Manager) handleMitigation(w http.ResponseWriter, r *http.Request) {
+	s := m.snapshot(w, r)
+	if s == nil {
+		return
+	}
+	k, ok := intParam(w, r, "k", 10)
+	if !ok {
+		return
+	}
+	const maxK = 10000
+	if k > maxK {
+		k = maxK
+	}
+	plan, err := analysis.Mitigation(s.Run, k, r.URL.Query().Get("snapshot"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
 // intParam parses a non-negative integer query parameter, writing a 400 and
 // returning ok=false on bad input.
 func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {

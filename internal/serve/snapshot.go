@@ -392,5 +392,7 @@ func Register(mux *http.ServeMux, m *Manager) {
 	mux.Handle("GET /v1/providers", instrument("providers", m.handleProviders))
 	mux.Handle("POST /v1/delta", instrument("delta", m.handleDelta))
 	mux.Handle("GET /v1/diff", instrument("diff", m.handleDiff))
+	mux.Handle("/v1/sweep", instrument("sweep", m.handleSweep))
+	mux.Handle("GET /v1/mitigation", instrument("mitigation", m.handleMitigation))
 	mux.Handle("/incident", instrument("incident", m.handleIncident))
 }
