@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt examples race golden verify alloc-guards docs-check bench bench-pipeline bench-incident bench-delta bench-compare loadtest loadtest-smoke
+.PHONY: all build test vet fmt examples race golden verify alloc-guards docs-check bench bench-pipeline bench-incident bench-delta bench-chain bench-compare loadtest loadtest-smoke
 
 all: build test
 
@@ -88,6 +88,11 @@ bench-incident:
 # the 100K delta arm beats the rebuild arm by >= 10x.
 bench-delta:
 	./docs/bench.sh delta
+
+# bench-chain runs the chain-enabled measurement pipeline benchmark (2K and
+# paper-scale 100K arms, one iteration each) and rewrites BENCH_chain.json.
+bench-chain:
+	./docs/bench.sh chain
 
 # bench-compare reruns every recorded benchmark and diffs ns/op against the
 # committed BENCH_*.json records; any benchmark more than 10% slower than

@@ -35,6 +35,7 @@ import (
 
 	"depscope/internal/analysis"
 	"depscope/internal/casestudy"
+	"depscope/internal/chain"
 	"depscope/internal/conc"
 	"depscope/internal/incident"
 	"depscope/internal/telemetry"
@@ -91,7 +92,7 @@ func main() {
 		scale      = flag.Int("scale", 100000, "ranked-list length (the paper uses 100000)")
 		seed       = flag.Int64("seed", 2020, "generator seed")
 		workers    = flag.Int("workers", 0, "measurement and metrics concurrency (values < 1 mean GOMAXPROCS)")
-		experiment = flag.String("experiment", "", "print only one experiment (table1..table11, figure2..figure9, hidden, criticaldeps, robustness)")
+		experiment = flag.String("experiment", "", "print only one experiment (table1..table11, figure2..figure9, hidden, criticaldeps, robustness, chains)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		outage     = flag.String("outage", "", "what-if analysis: provider identity to fail (e.g. dnsmadeeasy.com, Akamai)")
 		dotFile    = flag.String("dot", "", "write the 2020 dependency graph in Graphviz format to this file")
@@ -105,6 +106,8 @@ func main() {
 		timelineIn = flag.String("timeline", "", "replay a delta-stream JSON file against the measured run and print the evolution table (see docs/incremental.md)")
 		sweepIn    = flag.String("sweep", "", "Monte-Carlo incident sweep: a sweep-spec JSON file or a preset name (see docs/risk.md)")
 		mitigateK  = flag.Int("mitigate", 0, "print a greedy mitigation plan: the K sites that should add a second provider to shrink aggregate impact the most (see docs/risk.md)")
+		chainsOn   = flag.Bool("chains", false, "measure transitive resource-inclusion chains: implicitly-trusted script/font vendors become a fourth dependency type (see docs/chains.md)")
+		chainsCfg  = flag.String("chain-config", "", "chain configuration JSON file overriding the -chains defaults (implies -chains; see docs/chains.md)")
 	)
 	flag.Parse()
 	if *showTelem {
@@ -137,6 +140,22 @@ func main() {
 	}
 	if *mitigateK < 0 {
 		log.Fatal("-mitigate must be positive")
+	}
+	var chainCfg *chain.Config
+	if *chainsCfg != "" {
+		f, err := os.Open(*chainsCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err := chain.ParseConfig(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *chainsCfg, err)
+		}
+		chainCfg = &cfg
+	} else if *chainsOn {
+		cfg := chain.Default()
+		chainCfg = &cfg
 	}
 	// Same fail-fast treatment for the other pre-run inputs: a bad delta
 	// stream or a -resume without its checkpoint should not cost a run.
@@ -176,6 +195,7 @@ func main() {
 		"figure9":      func(r *analysis.Run) { analysis.RenderFigure9(os.Stdout, r) },
 		"hidden":       func(r *analysis.Run) { analysis.RenderHiddenDeps(os.Stdout, r) },
 		"criticaldeps": func(r *analysis.Run) { analysis.RenderCriticalDeps(os.Stdout, r) },
+		"chains":       func(r *analysis.Run) { analysis.RenderChains(os.Stdout, r) },
 		"table10":      func(*analysis.Run) { renderHospitals(*seed) },
 		"table11":      func(*analysis.Run) { renderSmartHome() },
 		"robustness":   func(r *analysis.Run) { analysis.RenderRobustness(os.Stdout, r) },
@@ -229,6 +249,7 @@ func main() {
 		Progress:       progress,
 		CheckpointPath: *ckptPath,
 		Resume:         *resume,
+		Chains:         chainCfg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"depscope/internal/analysis"
+	"depscope/internal/chain"
 	"depscope/internal/dnsserver"
 	"depscope/internal/dnszone"
 	"depscope/internal/ecosystem"
@@ -67,6 +68,7 @@ func run() error {
 		verbose  = flag.Bool("v", false, "log every query")
 		zonefile = flag.String("zonefile", "", "additionally serve a zone from this RFC 1035 master file")
 		export   = flag.String("export", "", "write the zone of this domain to stdout as a master file and exit")
+		chainsOn = flag.Bool("chains", false, "measure transitive resource-inclusion chains in the analysis snapshot and serve GET /v1/chains (see docs/chains.md)")
 	)
 	flag.Parse()
 
@@ -130,8 +132,13 @@ func run() error {
 		if *delta {
 			opts = append(opts, serve.WithDeltaAPI())
 		}
+		var chainCfg *chain.Config
+		if *chainsOn {
+			cfg := chain.Default()
+			chainCfg = &cfg
+		}
 		mgr := serve.NewManager(ctx, func(bctx context.Context) (*analysis.Run, error) {
-			return analysis.Execute(bctx, analysis.Options{Scale: *scale, Seed: *seed})
+			return analysis.Execute(bctx, analysis.Options{Scale: *scale, Seed: *seed, Chains: chainCfg})
 		}, opts...)
 		if *prewarm {
 			mgr.Prewarm()

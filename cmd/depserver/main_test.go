@@ -54,7 +54,7 @@ func TestIncidentEndpoint(t *testing.T) {
 	if err := json.Unmarshal(body, &listing); err != nil {
 		t.Fatal(err)
 	}
-	if len(listing.Presets) == 0 || listing.Presets[0] != "cdn-blackout" {
+	if len(listing.Presets) == 0 || listing.Presets[0] != "analytics-compromise" {
 		t.Errorf("preset listing = %v", listing.Presets)
 	}
 

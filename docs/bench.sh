@@ -21,8 +21,13 @@
 # written) wired into make verify. Suite "delta" runs the incremental graph
 # engine benchmark (a single-site delta vs a full graph rebuild at 2K and
 # 100K), rewrites BENCH_delta.json, and fails unless the 100K delta arm is
-# at least 10x faster than the rebuild arm. Suite "all" runs metrics,
-# pipeline, incident, delta and serve.
+# at least 10x faster than the rebuild arm. Suite "chain" runs the
+# chain-enabled measurement pipeline benchmark (BenchmarkChainMeasure: all
+# four passes with resource chains materialized, a 2K arm and the
+# paper-scale 100K arm, one iteration each) and rewrites BENCH_chain.json;
+# the edges/s metric in the raw output is informational — only ns/op is
+# recorded and compared. Suite "all" runs metrics, pipeline, incident,
+# delta, chain and serve.
 #
 # Suite "compare" runs every recorded benchmark fresh — including a serve
 # load run — and diffs its ns/op against the committed BENCH_*.json records
@@ -111,6 +116,8 @@ if [ "$suite" = "compare" ]; then
 		-benchmem -benchtime 2x ./internal/measure/ | tee -a "$raw"
 	go test -run '^$' -bench 'BenchmarkIncidentSweep$|BenchmarkIncidentMonteCarlo$' \
 		-benchmem -benchtime 5x ./internal/incident/ | tee -a "$raw"
+	go test -run '^$' -bench 'BenchmarkChainMeasure' \
+		-benchmem -benchtime 1x ./internal/measure/ | tee -a "$raw"
 
 	fresh=$(mktemp)
 	report=$(mktemp)
@@ -162,7 +169,7 @@ if [ "$suite" = "compare" ]; then
 		}
 		exit bad
 	}
-	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json BENCH_delta.json BENCH_serve.json "$fresh" > "$report" || status=1
+	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json BENCH_delta.json BENCH_chain.json BENCH_serve.json "$fresh" > "$report" || status=1
 	sort "$report"
 	if [ "$status" -ne 0 ]; then
 		echo "bench compare: ns/op regression above the allowed band" >&2
@@ -236,6 +243,20 @@ if [ "$suite" = "delta" ] || [ "$suite" = "all" ]; then
 		if (r / d < 10) { print "delta suite: speedup below the required 10x" > "/dev/stderr"; exit 1 }
 	}
 	' "$out"
+fi
+
+if [ "$suite" = "chain" ] || [ "$suite" = "all" ]; then
+	out=BENCH_chain.json
+	# One iteration per arm: a single chain-enabled pipeline run is the unit
+	# of interest, and the 100K arm is a full paper-scale measurement.
+	go test -run '^$' -bench 'BenchmarkChainMeasure' \
+		-benchmem -benchtime 1x ./internal/measure/ | tee "$raw"
+	{
+		echo "["
+		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
+		echo "]"
+	} > "$out"
+	echo "wrote $out"
 fi
 
 if [ "$suite" = "incident" ] || [ "$suite" = "all" ]; then

@@ -72,7 +72,10 @@ func (sd *SnapshotData) Diff(prev *SnapshotData) *GraphDiff {
 func DiffGraphs(prev, cur *core.Graph) *GraphDiff {
 	d := &GraphDiff{}
 	opts := core.AllIndirect()
-	for _, svc := range core.Services {
+	// AllServices: chain vendors (Resource providers) diff like any other
+	// provider; without chains the Resource maps are empty and nothing
+	// changes.
+	for _, svc := range core.AllServices {
 		old := statsByName(prev, svc, opts)
 		now := statsByName(cur, svc, opts)
 		for name, o := range old {

@@ -37,6 +37,7 @@ var reportSteps = []struct {
 	{"critical_deps", RenderCriticalDeps},
 	{"dyn_replay", RenderDynReplay},
 	{"mitigation", RenderMitigation},
+	{"chains", RenderChains},
 }
 
 // Report writes every table and figure of the evaluation to w, in paper

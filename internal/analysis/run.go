@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"depscope/internal/chain"
 	"depscope/internal/conc"
 	"depscope/internal/core"
 	"depscope/internal/ecosystem"
@@ -64,6 +65,12 @@ type Options struct {
 	// calls, so a callback writing to a plain buffer is race-free even
 	// though the snapshots are measured concurrently.
 	Progress func(format string, args ...any)
+	// Chains, when non-nil and enabled, materializes transitive
+	// resource-inclusion chains into each snapshot's pages and runs the
+	// chain classifier stage, adding implicit-trust edges and vendor
+	// provider nodes to the graphs. Nil leaves every artifact (results,
+	// graphs, reports, checkpoints) byte-identical to a chains-off run.
+	Chains *chain.Config
 }
 
 // Execute generates, materializes and measures both snapshots.
@@ -131,6 +138,9 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.Snapshot, opts Options) (*SnapshotData, error) {
 	defer telemetry.StartSpan("analysis.measure_snapshot").End()
 	w := ecosystem.Materialize(u, snap)
+	if opts.Chains != nil && opts.Chains.Enabled() {
+		ecosystem.MaterializeChains(u, w, *opts.Chains)
+	}
 	cfg := measure.Config{
 		Resolver:               w.NewResolver(),
 		Certs:                  w.Certs,
@@ -139,6 +149,7 @@ func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.
 		Workers:                opts.Workers,
 		ConcentrationThreshold: opts.ConcentrationThreshold,
 		ErrorPolicy:            opts.ErrorPolicy,
+		Chains:                 opts.Chains,
 	}
 	if opts.CheckpointPath != "" {
 		path := fmt.Sprintf("%s.%s", opts.CheckpointPath, snap)
@@ -208,6 +219,10 @@ func BuildGraph(res *measure.Results) *core.Graph {
 				node.PrivateInfra[core.CA] = append(node.PrivateInfra[core.CA], sr.CA.CAName)
 			}
 		}
+		// Implicit-trust edges (chain runs only; nil otherwise).
+		for _, cr := range sr.Chains {
+			node.Chains = append(node.Chains, core.ChainEdge{Provider: cr.Provider, Depth: cr.Depth})
+		}
 		sites = append(sites, node)
 	}
 
@@ -230,6 +245,18 @@ func BuildGraph(res *measure.Results) *core.Graph {
 	}
 	for name, dep := range res.CAToCDN {
 		p := ensure(name, core.CA)
+		if dep.Class != core.ClassNone {
+			p.Deps[core.CDN] = core.Dep{Class: dep.Class, Providers: dep.Deps}
+		}
+	}
+	// Chain vendors become first-class Resource providers with their own
+	// measured DNS/CDN arrangements, so outages cascade through them.
+	for name, dep := range res.ResourceToDNS {
+		p := ensure(name, core.Resource)
+		p.Deps[core.DNS] = core.Dep{Class: dep.Class, Providers: dep.Deps}
+	}
+	for name, dep := range res.ResourceToCDN {
+		p := ensure(name, core.Resource)
 		if dep.Class != core.ClassNone {
 			p.Deps[core.CDN] = core.Dep{Class: dep.Class, Providers: dep.Deps}
 		}

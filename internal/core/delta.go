@@ -332,6 +332,7 @@ func (cx *applyCtx) replaceSiteDep(name string, svc Service, d Dep, eff *DeltaEf
 		Rank:         s.Rank,
 		Deps:         maps.Clone(s.Deps),
 		PrivateInfra: s.PrivateInfra,
+		Chains:       s.Chains,
 	}
 	if ns.Deps == nil {
 		ns.Deps = make(map[Service]Dep, 1)
@@ -370,6 +371,32 @@ func (ng *Graph) indexSite(s *Site) {
 			ng.privateUsersOf[pname] = appendCopy(ng.privateUsersOf[pname], s)
 		}
 	}
+	forEachChainProvider(s, func(pname string) {
+		ng.usersOf[Resource][pname] = appendCopy(ng.usersOf[Resource][pname], s)
+		ng.criticalUsersOf[Resource][pname] = appendCopy(ng.criticalUsersOf[Resource][pname], s)
+	})
+}
+
+// forEachChainProvider visits each distinct chain-edge provider of s once,
+// matching NewGraph's indexChainEdges dedup so delta-built indexes stay
+// identical to from-scratch ones.
+func forEachChainProvider(s *Site, fn func(string)) {
+	if len(s.Chains) == 0 {
+		return
+	}
+	var seen map[string]bool
+	if len(s.Chains) > 1 {
+		seen = make(map[string]bool, len(s.Chains))
+	}
+	for _, e := range s.Chains {
+		if seen != nil {
+			if seen[e.Provider] {
+				continue
+			}
+			seen[e.Provider] = true
+		}
+		fn(e.Provider)
+	}
 }
 
 // unindexSite removes every index entry pointing at s (by node identity).
@@ -390,6 +417,10 @@ func (ng *Graph) unindexSite(s *Site) {
 			setOrDelete(ng.privateUsersOf, pname, removeNode(ng.privateUsersOf[pname], s))
 		}
 	}
+	forEachChainProvider(s, func(pname string) {
+		setOrDelete(ng.usersOf[Resource], pname, removeNode(ng.usersOf[Resource][pname], s))
+		setOrDelete(ng.criticalUsersOf[Resource], pname, removeNode(ng.criticalUsersOf[Resource][pname], s))
+	})
 }
 
 // indexProvider mirrors NewGraph's provider-edge indexing.
@@ -460,6 +491,9 @@ func markSiteDirty(dirty map[string]bool, s *Site) {
 		for _, pname := range infra {
 			dirty[pname] = true
 		}
+	}
+	for _, e := range s.Chains {
+		dirty[e.Provider] = true
 	}
 }
 

@@ -48,6 +48,7 @@ type wireSite struct {
 	Rank         int                 `json:"rank,omitempty"`
 	Deps         map[string]wireDep  `json:"deps,omitempty"`
 	PrivateInfra map[string][]string `json:"private_infra,omitempty"`
+	Chains       []ChainEdge         `json:"chains,omitempty"`
 }
 
 type wireDep struct {
@@ -70,8 +71,10 @@ func ParseService(s string) (Service, error) {
 		return CDN, nil
 	case "ca":
 		return CA, nil
+	case "resource":
+		return Resource, nil
 	}
-	return 0, fmt.Errorf("unknown service %q (want dns, cdn or ca)", s)
+	return 0, fmt.Errorf("unknown service %q (want dns, cdn, ca or resource)", s)
 }
 
 // ParseDepClass maps a wire class name (the DepClass.String values) onto
@@ -224,6 +227,12 @@ func (ws *wireSite) toSite() (*Site, error) {
 			s.PrivateInfra[svc] = infra
 		}
 	}
+	for i, e := range ws.Chains {
+		if e.Provider == "" || e.Depth < 1 {
+			return nil, fmt.Errorf("chain edge %d: needs a provider and depth >= 1", i)
+		}
+	}
+	s.Chains = ws.Chains
 	return s, nil
 }
 
@@ -292,6 +301,7 @@ func toWireSite(s *Site) *wireSite {
 			ws.PrivateInfra[strings.ToLower(svc.String())] = infra
 		}
 	}
+	ws.Chains = s.Chains
 	return ws
 }
 

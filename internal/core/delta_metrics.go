@@ -215,7 +215,7 @@ func patchByWalk(in map[string]int, ne *MetricsEngine, dirtyIDs []int, critical 
 // optsForBits reverses viaBits for the patch walks.
 func optsForBits(key uint8) TraversalOpts {
 	var opts TraversalOpts
-	for _, svc := range Services {
+	for _, svc := range AllServices {
 		if key&(1<<uint(svc)) != 0 {
 			opts.ViaProviders = append(opts.ViaProviders, svc)
 		}

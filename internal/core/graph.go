@@ -20,10 +20,23 @@ const (
 	DNS Service = iota
 	CDN
 	CA
+	// Resource is the fourth dependency type: transitive web-resource
+	// providers ("The Chain of Implicit Trust"). A site's resource chain —
+	// page → third-party script → that vendor's own CDN and DNS — puts the
+	// vendor on the critical path without any DNS/CDN/CA arrangement naming
+	// it. Chain edges live in Site.Chains; vendor nodes are ordinary
+	// Providers with Service == Resource and their own Deps.
+	Resource
 )
 
-// Services lists all service types.
+// Services lists the paper's three directly-measured service types. Rankings,
+// CDFs and the evolution tables iterate this list, so the original report
+// surfaces never see chain data.
 var Services = []Service{DNS, CDN, CA}
+
+// AllServices additionally includes the transitive Resource kind — the list
+// traversal plumbing (cache keys, index construction) iterates.
+var AllServices = []Service{DNS, CDN, CA, Resource}
 
 // String names the service.
 func (s Service) String() string {
@@ -34,6 +47,8 @@ func (s Service) String() string {
 		return "CDN"
 	case CA:
 		return "CA"
+	case Resource:
+		return "Resource"
 	}
 	return fmt.Sprintf("Service(%d)", int(s))
 }
@@ -107,6 +122,22 @@ type Site struct {
 	// twitter.com (private CDN on third-party DNS) and godaddy.com (private
 	// CA on third-party DNS) cases.
 	PrivateInfra map[Service][]string
+	// Chains are the site's transitive resource-inclusion edges: one entry
+	// per implicitly-trusted vendor the page loads an object from, annotated
+	// with the minimum inclusion depth it was reached at (1 = referenced by
+	// the page itself, 2 = loaded by a depth-1 resource, ...). Each edge is a
+	// critical dependency by construction — the vendor serves an object the
+	// page executes — so losing the vendor takes the inclusion down. Empty
+	// when the run was measured without -chains.
+	Chains []ChainEdge
+}
+
+// ChainEdge is one site → vendor resource-inclusion edge.
+type ChainEdge struct {
+	// Provider is the vendor's provider-node name (its registrable domain).
+	Provider string `json:"provider"`
+	// Depth is the minimum inclusion depth the vendor was reached at (>= 1).
+	Depth int `json:"depth"`
 }
 
 // Provider is a provider node with its own (inter-service) dependencies.
@@ -160,7 +191,7 @@ func NewGraph(sites []*Site, providers []*Provider) *Graph {
 		providerUsersOf: make(map[string][]*Provider),
 		privateUsersOf:  make(map[string][]*Site),
 	}
-	for _, svc := range Services {
+	for _, svc := range AllServices {
 		g.usersOf[svc] = make(map[string][]*Site)
 		g.criticalUsersOf[svc] = make(map[string][]*Site)
 	}
@@ -188,6 +219,11 @@ func NewGraph(sites []*Site, providers []*Provider) *Graph {
 				g.privateUsersOf[pname] = append(g.privateUsersOf[pname], s)
 			}
 		}
+		// Resource-chain edges index under the Resource service, each one a
+		// critical dependency (the vendor serves an object the page runs).
+		// Multiple edges to the same vendor at different depths collapse to
+		// one index entry per site.
+		indexChainEdges(g.usersOf[Resource], g.criticalUsersOf[Resource], s)
 	}
 	for _, p := range providers {
 		for _, d := range p.Deps {
@@ -200,6 +236,29 @@ func NewGraph(sites []*Site, providers []*Provider) *Graph {
 		}
 	}
 	return g
+}
+
+// indexChainEdges records s's chain edges into the Resource user indexes,
+// de-duplicating multiple edges to the same vendor — NewGraph and the delta
+// path share it so a delta-built graph indexes identically.
+func indexChainEdges(users, critical map[string][]*Site, s *Site) {
+	if len(s.Chains) == 0 {
+		return
+	}
+	var seen map[string]bool
+	if len(s.Chains) > 1 {
+		seen = make(map[string]bool, len(s.Chains))
+	}
+	for _, e := range s.Chains {
+		if seen != nil {
+			if seen[e.Provider] {
+				continue
+			}
+			seen[e.Provider] = true
+		}
+		users[e.Provider] = append(users[e.Provider], s)
+		critical[e.Provider] = append(critical[e.Provider], s)
+	}
 }
 
 // Site returns a site node by name, or nil. The index is built on first
@@ -228,9 +287,19 @@ type TraversalOpts struct {
 	ViaProviders []Service
 }
 
-// AllIndirect traverses every inter-service edge.
+// AllIndirect traverses every inter-service edge between the three directly
+// measured services. Resource vendors stay opaque: a provider's C_p/I_p under
+// AllIndirect never grows through a chain edge, so every pre-chain metric is
+// reproduced exactly.
 func AllIndirect() TraversalOpts {
 	return TraversalOpts{ViaProviders: []Service{DNS, CDN, CA}}
+}
+
+// AllImplicit additionally traverses through Resource vendor nodes: a DNS
+// provider serving a vendor's zone picks up every site including that
+// vendor's script — the implicit C_p/I_p of the chain analysis.
+func AllImplicit() TraversalOpts {
+	return TraversalOpts{ViaProviders: []Service{DNS, CDN, CA, Resource}}
 }
 
 // DirectOnly traverses no provider edges.

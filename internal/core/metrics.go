@@ -254,11 +254,12 @@ func (e *MetricsEngine) Counts(opts TraversalOpts) (conc, imp map[string]int) {
 }
 
 // viaBits folds TraversalOpts into the cache key. Only the canonical
-// services participate in traversal; provider Service values outside
-// Services never carry edges (NewGraph cannot produce them).
+// services (Resource included) participate in traversal; provider Service
+// values outside AllServices never carry edges (NewGraph cannot produce
+// them).
 func viaBits(opts TraversalOpts) uint8 {
 	var b uint8
-	for _, svc := range Services {
+	for _, svc := range AllServices {
 		if opts.allows(svc) {
 			b |= 1 << uint(svc)
 		}

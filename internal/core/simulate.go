@@ -217,6 +217,22 @@ func newOutageSim(g *Graph, via uint8) *OutageSim {
 			seen[svc] = true
 			s.siteArrs[i] = append(s.siteArrs[i], simArr{svc: svc, class: ClassPrivate, private: true, provs: idsOf(names)})
 		}
+		// Chain edges: one critical pseudo-arrangement per distinct vendor,
+		// mirroring indexChainEdges — a down vendor takes the site down, no
+		// redundancy. Included under every traversal key (gather unions a
+		// provider's chain users unconditionally too); the via filter only
+		// decides whether the cascade may *continue* through vendor nodes.
+		if len(site.Chains) > 0 {
+			seen[Resource] = true
+			chainSeen := make(map[string]bool, len(site.Chains))
+			for _, ce := range site.Chains {
+				if chainSeen[ce.Provider] {
+					continue
+				}
+				chainSeen[ce.Provider] = true
+				s.siteArrs[i] = append(s.siteArrs[i], simArr{svc: Resource, class: ClassSingleThird, provs: idsOf([]string{ce.Provider})})
+			}
+		}
 		s.consumed[i] = len(seen)
 	}
 	return s
@@ -403,8 +419,8 @@ func (s *OutageSim) Run(targets []string, o OutageOpts) *OutageResult {
 }
 
 // numServices sizes the per-site service-status scratch arrays; Service
-// values are the canonical 0..len(Services)-1 range.
-const numServices = 3
+// values are the canonical 0..len(AllServices)-1 range.
+const numServices = 4
 
 // ProviderID resolves a provider name to its simulator id — the currency of
 // RunCounts target lists. Sampling loops resolve names once up front and

@@ -1,0 +1,169 @@
+package ecosystem
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"depscope/internal/chain"
+	"depscope/internal/dnsmsg"
+	"depscope/internal/dnszone"
+	"depscope/internal/webpage"
+)
+
+// This file materializes transitive resource-inclusion chains on top of an
+// already-materialized World: a vendor universe (script/font/widget
+// operators that only ever appear inside chains, each with its own DNS
+// delegation and optionally a CDN-fronted static host) and, per landing
+// page, child resources hanging off the page-level ones with power-law
+// fan-out up to chain.Config.MaxDepth.
+//
+// MaterializeChains is a separate entry point, NOT part of Materialize, for
+// a load-bearing reason: the generator consumes a single RNG stream, and
+// the measurement pinning tests require chains-off runs to stay
+// byte-identical. Chains therefore derive all randomness from per-site
+// hashes of the chain seed, never touching the generator's stream, and a
+// world never passed through MaterializeChains is bit-identical to one
+// built before this file existed.
+
+// chainVendor is one synthetic implicitly-trusted operator.
+type chainVendor struct {
+	domain  string // registrable domain; the measured provider identity
+	host    string // static.<domain> — the host chain resources load from
+	dnsDep  ProviderDNS
+	cdnProv string // CDN provider name fronting host; "" serves directly
+}
+
+// chainVendorUniverse derives the deterministic vendor population. Vendor
+// i's arrangement depends only on i, so the universe is stable across
+// runs, worker counts and scales. DNS choices are skewed toward the big
+// operators (the implicit-concentration signal under study); every name
+// referenced exists in both snapshots.
+func chainVendorUniverse(n int) []chainVendor {
+	dnsPool := []string{
+		"Cloudflare", "Cloudflare", "Cloudflare", // 30% Cloudflare
+		"AWS DNS", "AWS DNS", // 20% AWS
+		"Dyn", "GoDaddy", "NS1", "UltraDNS", // 10% each
+		"", // 10% private DNS
+	}
+	cdnPool := []string{"Amazon CloudFront", "Fastly", "", "Akamai", "", "Cloudflare CDN"}
+	out := make([]chainVendor, n)
+	for i := range out {
+		domain := fmt.Sprintf("chain-vendor-%02d.net", i)
+		v := chainVendor{
+			domain:  domain,
+			host:    "static." + domain,
+			cdnProv: cdnPool[i%len(cdnPool)],
+		}
+		if dns := dnsPool[i%len(dnsPool)]; dns == "" {
+			v.dnsDep = ProviderDNS{Private: true}
+		} else {
+			v.dnsDep = ProviderDNS{Third: []string{dns}}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// MaterializeChains extends w with the chain vendor universe and per-page
+// resource chains. It must run after Materialize (it needs the provider
+// zones and landing pages) and is a no-op when cfg is disabled
+// (MaxDepth <= 1). The page walk visits w.Sites in rank order with a
+// per-site seeded RNG, so results are independent of everything but
+// (universe, cfg).
+func MaterializeChains(u *Universe, w *World, cfg chain.Config) {
+	if !cfg.Enabled() {
+		return
+	}
+	vendors := chainVendorUniverse(cfg.Vendors)
+	m := &materializer{u: u, w: w, snap: w.Snapshot}
+	for i := range vendors {
+		m.chainVendorZone(&vendors[i])
+	}
+	for _, site := range w.Sites {
+		page := w.Pages[site]
+		if page == nil {
+			continue
+		}
+		rng := rand.New(rand.NewSource(chainSeed(cfg.Seed, site)))
+		growChains(page, vendors, cfg, rng)
+	}
+}
+
+// chainVendorZone materializes one vendor's DNS zone: delegation per its
+// arrangement (own SOA master, so the soa heuristic sees a third party
+// cleanly), an apex address, and the static host either CNAMEd into its
+// CDN's edge namespace or answered directly.
+func (m *materializer) chainVendorZone(v *chainVendor) {
+	origin := v.domain + "."
+	soa := dnsmsg.SOAData{
+		MName: "ns1." + v.domain + ".", RName: "ops." + v.domain + ".",
+		Serial: 2020010101, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+	}
+	z := dnszone.NewZone(origin, soa)
+	m.zoneNS(z, origin, v.domain, v.dnsDep)
+	z.MustAdd(dnsmsg.Record{Name: origin, Type: dnsmsg.TypeA, TTL: 300, IP: []byte{198, 51, 100, 70}})
+	if v.cdnProv != "" {
+		cp := m.u.Providers[v.cdnProv]
+		if cp == nil {
+			panic("ecosystem: chain vendor uses unknown CDN " + v.cdnProv)
+		}
+		z.MustAdd(dnsmsg.Record{Name: v.host + ".", Type: dnsmsg.TypeCNAME, TTL: 300,
+			Target: "v-" + slugOf(v.domain) + "." + cp.CNAMESuffix + "."})
+	} else {
+		z.MustAdd(dnsmsg.Record{Name: v.host + ".", Type: dnsmsg.TypeA, TTL: 300, IP: []byte{198, 51, 100, 71}})
+	}
+	m.w.Zones.AddZone(z)
+}
+
+// maxChainResources caps per-page chain growth: the fan-out draw has a
+// geometric tail, and a page must stay a page, not a crawl frontier.
+const maxChainResources = 256
+
+// growChains appends child resources to page for depths 2..MaxDepth. Every
+// existing (page-level) resource is a depth-1 chain root; each frontier
+// resource spawns a geometric number of children with mean cfg.FanOut, and
+// each child is vendor-hosted with probability cfg.ThirdPartyRatio or
+// same-host otherwise (a site's own bundle pulling a second internal
+// asset).
+func growChains(page *webpage.Page, vendors []chainVendor, cfg chain.Config, rng *rand.Rand) {
+	type node struct {
+		idx  int    // 1-based resource index
+		host string // serving host
+	}
+	frontier := make([]node, 0, len(page.Resources))
+	for i, r := range page.Resources {
+		frontier = append(frontier, node{idx: i + 1, host: r.Host})
+	}
+	p := cfg.FanOut / (1 + cfg.FanOut)
+	added := 0
+	for depth := 2; depth <= cfg.MaxDepth && len(frontier) > 0; depth++ {
+		var next []node
+		for _, parent := range frontier {
+			k := 0
+			for rng.Float64() < p && k < 8 {
+				k++
+			}
+			for j := 0; j < k && added < maxChainResources; j++ {
+				host := parent.host
+				if rng.Float64() < cfg.ThirdPartyRatio {
+					host = vendors[rng.Intn(len(vendors))].host
+				}
+				url := fmt.Sprintf("https://%s/chain-d%d-%d.js", host, depth, added)
+				idx := page.AddResourceAt(url, parent.idx)
+				next = append(next, node{idx: idx, host: host})
+				added++
+			}
+		}
+		frontier = next
+	}
+}
+
+// chainSeed derives a site's chain RNG seed from the configured seed and
+// the site name (fnv-1a), so per-site chains are independent of site
+// iteration order and of each other.
+func chainSeed(seed int64, site string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	return seed ^ int64(h.Sum64())
+}

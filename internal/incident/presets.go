@@ -63,6 +63,20 @@ var presets = map[string]func() *Scenario{
 			Targets:     Targets{Service: "cdn"},
 		}
 	},
+	// The implicit-trust incident: the highest-concentration chain vendor
+	// (a script/analytics operator no site lists as a direct dependency)
+	// is compromised and taken down, and every page whose resource chain
+	// reaches it — at any inclusion depth — falls with it. Requires a
+	// chain-enabled run (-chains); the via list lets the cascade continue
+	// through vendor nodes, so the vendor's own provider failures count.
+	"analytics-compromise": func() *Scenario {
+		return &Scenario{
+			Name:        "analytics-compromise",
+			Description: "compromise of the top second-level script vendor: a provider no page loads directly fails, and sites fall through >=2-level resource-inclusion chains (chain-enabled runs only)",
+			Targets:     Targets{TopK: 1, TopKService: "resource", MinChainDepth: 2},
+			Via:         []string{"dns", "cdn", "ca", "resource"},
+		}
+	},
 }
 
 // sweepPresets are the built-in Monte-Carlo sweeps, addressable by name

@@ -255,7 +255,9 @@ func (r *Report) WriteText(w io.Writer) {
 		}
 		if len(st.LostByService)+len(st.DegradedByService) > 0 {
 			fmt.Fprintf(w, "  by service:")
-			for _, svc := range core.Services {
+			// AllServices so chain (Resource) losses print; zero-count
+			// services are skipped, keeping chains-off reports unchanged.
+			for _, svc := range core.AllServices {
 				lost, deg := st.LostByService[svc.String()], st.DegradedByService[svc.String()]
 				if lost == 0 && deg == 0 {
 					continue

@@ -32,7 +32,10 @@ type Scenario struct {
 	// Beyond the paper's semantics (see docs/incidents.md).
 	JointFailures bool `json:"joint_failures,omitempty"`
 	// Via lists the provider service types failure may traverse ("dns",
-	// "cdn", "ca"); empty means all — the C_p/I_p traversal filter.
+	// "cdn", "ca", "resource"); empty means all direct services — the
+	// C_p/I_p traversal filter. "resource" lets the cascade continue
+	// through implicitly-trusted chain vendors (their own DNS/CDN failures
+	// reach the sites that include them).
 	Via []string `json:"via,omitempty"`
 	// Stages, when set, replay a timeline: each stage's targets are added
 	// to all previous ones and the cumulative outage is re-simulated, so a
@@ -63,6 +66,12 @@ type Targets struct {
 	// concentration C_p under the scenario's traversal.
 	TopK        int    `json:"top_k,omitempty"`
 	TopKService string `json:"top_k_service,omitempty"`
+	// MinChainDepth restricts the TopK ranking to chain vendors whose
+	// minimum resource-inclusion depth across all sites is at least this
+	// value: 2 selects vendors no page loads directly — the implicit trust
+	// the direct measurement cannot see. Only meaningful with TopK over
+	// the "resource" service (chain-enabled runs).
+	MinChainDepth int `json:"min_chain_depth,omitempty"`
 }
 
 func (t Targets) empty() bool {
@@ -94,8 +103,10 @@ func parseService(s string) (core.Service, error) {
 		return core.CDN, nil
 	case "ca":
 		return core.CA, nil
+	case "resource":
+		return core.Resource, nil
 	}
-	return 0, fmt.Errorf("incident: unknown service %q (want dns, cdn or ca)", s)
+	return 0, fmt.Errorf("incident: unknown service %q (want dns, cdn, ca or resource)", s)
 }
 
 func (t Targets) validate() error {
@@ -109,6 +120,12 @@ func (t Targets) validate() error {
 		if _, err := parseService(t.TopKService); err != nil {
 			return fmt.Errorf("incident: top_k needs top_k_service: %w", err)
 		}
+	}
+	if t.MinChainDepth < 0 {
+		return fmt.Errorf("incident: min_chain_depth must be non-negative, got %d", t.MinChainDepth)
+	}
+	if t.MinChainDepth > 0 && t.TopK == 0 {
+		return fmt.Errorf("incident: min_chain_depth only shapes the top_k ranking; set top_k")
 	}
 	if t.Service != "" {
 		if _, err := parseService(t.Service); err != nil {
@@ -254,12 +271,44 @@ func ResolveTargets(g *core.Graph, t Targets, opts core.TraversalOpts) ([]string
 		if err != nil {
 			return nil, err
 		}
-		stats := g.TopProviders(svc, opts, false, t.TopK)
-		if len(stats) == 0 {
-			return nil, fmt.Errorf("incident: no %s providers to rank in this snapshot", svc)
+		// With a depth floor, rank the full pool and keep only vendors no
+		// site includes above the floor (min depth over every chain edge).
+		var eligible map[string]bool
+		n := t.TopK
+		if t.MinChainDepth > 1 {
+			minDepth := make(map[string]int)
+			for _, s := range g.Sites {
+				for _, e := range s.Chains {
+					if d, ok := minDepth[e.Provider]; !ok || e.Depth < d {
+						minDepth[e.Provider] = e.Depth
+					}
+				}
+			}
+			eligible = make(map[string]bool)
+			for p, d := range minDepth {
+				if d >= t.MinChainDepth {
+					eligible[p] = true
+				}
+			}
+			n = -1
 		}
+		stats := g.TopProviders(svc, opts, false, n)
+		taken := 0
 		for _, st := range stats {
+			if eligible != nil && !eligible[st.Name] {
+				continue
+			}
 			selected[st.Name] = true
+			taken++
+			if taken == t.TopK {
+				break
+			}
+		}
+		if taken == 0 {
+			if t.MinChainDepth > 1 {
+				return nil, fmt.Errorf("incident: no %s providers at chain depth >= %d in this snapshot (chain-enabled runs only)", svc, t.MinChainDepth)
+			}
+			return nil, fmt.Errorf("incident: no %s providers to rank in this snapshot", svc)
 		}
 	}
 

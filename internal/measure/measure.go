@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"depscope/internal/certs"
+	"depscope/internal/chain"
 	"depscope/internal/conc"
 	"depscope/internal/core"
 	"depscope/internal/publicsuffix"
@@ -73,6 +74,14 @@ type Config struct {
 	// of the combined DNS heuristic off, for the ablation experiments that
 	// quantify each rule's contribution.
 	DisableSAN, DisableSOA, DisableConcentration bool
+
+	// Chains, when non-nil and enabled (MaxDepth > 1), registers the chain
+	// classifier stage: each page's resource-inclusion tree is reduced to
+	// depth-annotated vendor references (SiteResult.Chains) and every
+	// discovered vendor's own DNS/CDN arrangement is resolved into
+	// Results.ResourceToDNS / ResourceToCDN. Nil or disabled leaves the
+	// pipeline byte-identical to the pre-chain behavior.
+	Chains *chain.Config
 
 	// Checkpoint, when non-nil, resumes from previously recorded progress:
 	// pass-1 NS sets and pass-2 site results whose fingerprints still match
@@ -166,6 +175,11 @@ type SiteResult struct {
 	DNS  SiteDNS
 	CA   SiteCA
 	CDN  SiteCDN
+	// Chains lists the site's implicitly-trusted vendors with their minimum
+	// inclusion depth; nil unless the run had chains enabled. omitempty
+	// keeps chains-off serializations (checkpoints, the pinning hash)
+	// byte-identical to pre-chain ones.
+	Chains []ChainRef `json:",omitempty"`
 }
 
 // Results is a full measurement run.
@@ -184,6 +198,11 @@ type Results struct {
 	CDNToDNS map[string]ProviderDep
 	CAToDNS  map[string]ProviderDep
 	CAToCDN  map[string]ProviderDep
+	// ResourceToDNS / ResourceToCDN are the chain inter-service
+	// measurements: each implicitly-trusted vendor's own DNS and CDN
+	// arrangement. Nil unless the run had chains enabled.
+	ResourceToDNS map[string]ProviderDep `json:",omitempty"`
+	ResourceToCDN map[string]ProviderDep `json:",omitempty"`
 	// Diagnostics reports per-stage progress counters, resolver cache
 	// statistics and — under conc.Collect — the recorded per-site errors.
 	Diagnostics Diagnostics
@@ -237,6 +256,9 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 		cdn:    cfg.CDNMap.compile(),
 		stages: defaultStages(),
 		diag:   newDiagCollector(),
+	}
+	if m.chainEnabled() {
+		m.stages = append(m.stages, chainStage{})
 	}
 	m.initTelemetry()
 	ck, err := newCkptRun(&cfg, len(sites))
@@ -333,6 +355,16 @@ func Run(ctx context.Context, sites []string, cfg Config) (*Results, error) {
 	interPass.End()
 	if err != nil {
 		return nil, err
+	}
+
+	// Pass 4 (chain runs only): vendor dependency resolution.
+	if m.chainEnabled() {
+		chainPass := telemetry.StartSpan("measure.chain_pass")
+		err = m.chainService(ctx, res)
+		chainPass.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	if ck != nil {
 		// Final snapshot: the complete run, usable later as the baseline for

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"depscope/internal/analysis"
+	"depscope/internal/chain"
+	"depscope/internal/core"
+	"depscope/internal/ecosystem"
+	"depscope/internal/measure"
+)
+
+// fakeChainRun extends fakeRun's two-site world with resource chains: a.com
+// includes vendor1.net directly (depth 1), b.com reaches it through an
+// intermediary (depth 2), and vendor1.net itself resolves through dns1.com.
+func fakeChainRun() *analysis.Run {
+	run := fakeRun()
+	g := run.Y2020.Graph
+	g.Sites[0].Chains = []core.ChainEdge{{Provider: "vendor1.net", Depth: 1}}
+	g.Sites[1].Chains = []core.ChainEdge{{Provider: "vendor1.net", Depth: 2}}
+	providers := make([]*core.Provider, 0, len(g.Providers)+1)
+	for _, p := range g.Providers {
+		providers = append(providers, p)
+	}
+	providers = append(providers, &core.Provider{
+		Name: "vendor1.net", Service: core.Resource,
+		Deps: map[core.Service]core.Dep{
+			core.DNS: {Class: core.ClassSingleThird, Providers: []string{"dns1.com"}},
+		},
+	})
+	run.Y2020 = &analysis.SnapshotData{
+		Snapshot: ecosystem.Y2020,
+		Graph:    core.NewGraph(g.Sites, providers),
+		Results:  &measure.Results{},
+	}
+	return run
+}
+
+// TestChainsEndpoint pins GET /v1/chains: a chain-measured snapshot serves a
+// summary that strict-decodes through the chain package's own codec
+// (DisallowUnknownFields + trailing-byte rejection), so schema drift between
+// the server and clients fails this test.
+func TestChainsEndpoint(t *testing.T) {
+	m := NewManager(context.Background(), func(ctx context.Context) (*analysis.Run, error) {
+		return fakeChainRun(), nil
+	})
+	srv := testMux(t, m)
+
+	code, body := get(t, srv.URL+"/v1/chains")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/chains = %d: %s", code, body)
+	}
+	s, err := chain.ParseSummary(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("response is not a strict chain.Summary: %v\n%s", err, body)
+	}
+	if s.Sites != 2 || s.SitesWithChains != 2 || s.Edges != 2 || s.Vendors != 1 {
+		t.Errorf("summary shape = %+v", s)
+	}
+	if s.MaxDepth != 2 {
+		t.Errorf("max depth = %d, want 2", s.MaxDepth)
+	}
+	if len(s.TopImplicit) != 1 || s.TopImplicit[0].Provider != "vendor1.net" {
+		t.Fatalf("top implicit = %+v", s.TopImplicit)
+	}
+	if got := s.TopImplicit[0]; got.Sites != 2 || got.MinDepth != 1 || got.MaxDepth != 2 {
+		t.Errorf("vendor exposure = %+v", got)
+	}
+
+	// dns1.com's implicit concentration must include b.com, reached only
+	// through the vendor chain (direct: a.com + b.com use dns1.com for DNS,
+	// implicit adds nothing new here — so assert via the vendor instead).
+	code, body = get(t, srv.URL+"/v1/chains?top=0")
+	if code != http.StatusOK {
+		t.Fatalf("top=0 = %d: %s", code, body)
+	}
+
+	// Unknown snapshot still 400s like the other endpoints.
+	code, body = get(t, srv.URL+"/v1/chains?snapshot=1999")
+	if code != http.StatusBadRequest {
+		t.Errorf("snapshot=1999 = %d: %s", code, body)
+	}
+}
+
+// TestChainsEndpointNotMeasured: a snapshot measured without -chains is a
+// configuration miss, not an empty result — the endpoint 404s with a hint.
+func TestChainsEndpointNotMeasured(t *testing.T) {
+	m := NewManager(context.Background(), func(ctx context.Context) (*analysis.Run, error) {
+		return fakeRun(), nil
+	})
+	srv := testMux(t, m)
+
+	code, body := get(t, srv.URL+"/v1/chains")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /v1/chains without chain data = %d, want 404: %s", code, body)
+	}
+	if !strings.Contains(string(body), "without chains") {
+		t.Errorf("404 body should explain the missing -chains flag: %s", body)
+	}
+}

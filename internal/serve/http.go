@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"depscope/internal/analysis"
+	"depscope/internal/chain"
 	"depscope/internal/core"
 	"depscope/internal/incident"
 	"depscope/internal/telemetry"
@@ -368,6 +369,42 @@ func (m *Manager) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleChains serves the implicit-trust chain summary — direct vs
+// implicit concentration, the chain-depth histogram and the top
+// implicitly-trusted vendors:
+//
+//	GET /v1/chains?snapshot=2020&top=10
+//
+// 404 when the run was measured without chains (depserver -chains off):
+// absence of chain data is a configuration state, not an empty result.
+func (m *Manager) handleChains(w http.ResponseWriter, r *http.Request) {
+	s := m.snapshot(w, r)
+	if s == nil {
+		return
+	}
+	v := s.viewParam(w, r)
+	if v == nil {
+		return
+	}
+	top, ok := intParam(w, r, "top", 10)
+	if !ok {
+		return
+	}
+	hasChains := false
+	for _, site := range v.data.Graph.Sites {
+		if len(site.Chains) > 0 {
+			hasChains = true
+			break
+		}
+	}
+	if !hasChains {
+		httpError(w, http.StatusNotFound,
+			"the %s snapshot was measured without chains (start depserver with -chains)", v.name)
+		return
+	}
+	writeJSON(w, http.StatusOK, chain.Summarize(v.data.Graph, top))
 }
 
 // handleMitigation serves the greedy mitigation plan:

@@ -393,6 +393,7 @@ func Register(mux *http.ServeMux, m *Manager) {
 	mux.Handle("POST /v1/delta", instrument("delta", m.handleDelta))
 	mux.Handle("GET /v1/diff", instrument("diff", m.handleDiff))
 	mux.Handle("/v1/sweep", instrument("sweep", m.handleSweep))
+	mux.Handle("GET /v1/chains", instrument("chains", m.handleChains))
 	mux.Handle("GET /v1/mitigation", instrument("mitigation", m.handleMitigation))
 	mux.Handle("/incident", instrument("incident", m.handleIncident))
 }

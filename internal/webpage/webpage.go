@@ -30,28 +30,40 @@ type Resource struct {
 	URL string
 	// Host is the lowercase hostname serving the resource.
 	Host string
+	// Parent links the resource into the page's inclusion tree: 0 means the
+	// page itself loaded it; a positive value j means Resources[j-1] loaded
+	// it (a script pulling in its own script, a stylesheet importing fonts).
+	// Parents always precede children in Resources, so Depth terminates.
+	Parent int
 }
 
 // Page is a website landing page reduced to its resource set.
 type Page struct {
 	// Site is the website hostname the page belongs to.
 	Site string
-	// Resources are the objects the page loads.
+	// Resources are the objects the page loads, in inclusion order.
 	Resources []Resource
 
-	// hosts caches the sorted distinct host set; AddResource invalidates
-	// it. The measurement pipeline reads each page's hosts once per stage,
-	// so recomputing the set (map + sort) per call was pure garbage.
-	hostsMu sync.Mutex
-	hosts   []string
+	// hosts caches the sorted distinct host set. Invariant: the cache is
+	// valid exactly when hostsLen == len(Resources) — Hosts rebuilds it
+	// whenever the slice has grown, so bulk writers appending directly to
+	// Resources (the ecosystem generator, chain materialization) stay
+	// correct without calling AddResource. Mutating an existing element in
+	// place is NOT covered; use the Add helpers or reslice. The measurement
+	// pipeline reads each page's hosts once per stage, so recomputing the
+	// set (map + sort) per call was pure garbage.
+	hostsMu  sync.Mutex
+	hosts    []string
+	hostsLen int
 }
 
-// Hosts returns the distinct resource hostnames, sorted. The slice is
-// cached until the next AddResource call; callers must not modify it.
+// Hosts returns the distinct resource hostnames, sorted. The cached slice
+// is rebuilt whenever len(Resources) has changed since the last call;
+// callers must not modify it.
 func (p *Page) Hosts() []string {
 	p.hostsMu.Lock()
 	defer p.hostsMu.Unlock()
-	if p.hosts != nil {
+	if p.hosts != nil && p.hostsLen == len(p.Resources) {
 		return p.hosts
 	}
 	seen := make(map[string]bool, len(p.Resources))
@@ -66,16 +78,45 @@ func (p *Page) Hosts() []string {
 	}
 	sort.Strings(out)
 	p.hosts = out
+	p.hostsLen = len(p.Resources)
 	return out
 }
 
-// AddResource appends a resource by URL, deriving the host.
+// AddResource appends a page-level resource by URL, deriving the host.
 func (p *Page) AddResource(rawURL string) {
+	p.AddResourceAt(rawURL, 0)
+}
+
+// AddResourceAt appends a resource loaded by an existing resource: parent
+// is a 1-based index into Resources (0 means the page itself). It returns
+// the new resource's own 1-based index, so callers can chain deeper levels.
+// An out-of-range parent panics: inclusion edges must point at resources
+// that already exist.
+func (p *Page) AddResourceAt(rawURL string, parent int) int {
+	if parent < 0 || parent > len(p.Resources) {
+		panic(fmt.Sprintf("webpage: resource parent %d out of range [0,%d]", parent, len(p.Resources)))
+	}
 	host := hostOf(rawURL, p.Site)
-	p.Resources = append(p.Resources, Resource{URL: rawURL, Host: host})
+	p.Resources = append(p.Resources, Resource{URL: rawURL, Host: host, Parent: parent})
 	p.hostsMu.Lock()
 	p.hosts = nil
 	p.hostsMu.Unlock()
+	return len(p.Resources)
+}
+
+// Depth returns the inclusion depth of Resources[i]: 1 for a resource the
+// page loads directly, parent's depth + 1 otherwise. Malformed parent links
+// (out of range or not strictly preceding the child) count as page-level.
+func (p *Page) Depth(i int) int {
+	depth := 1
+	for j := i; ; {
+		parent := p.Resources[j].Parent
+		if parent <= 0 || parent > j {
+			return depth
+		}
+		depth++
+		j = parent - 1
+	}
 }
 
 // hostOf resolves the host of rawURL; relative URLs belong to site.

@@ -74,6 +74,60 @@ func TestPageHostsAndAddResource(t *testing.T) {
 	}
 }
 
+// TestHostsCacheBulkAppend is the regression test for the stale-cache bug:
+// appending straight to Resources (the bulk generator path) used to leave
+// Hosts() serving the pre-append set forever, because only AddResource
+// invalidated the cache. The invariant is now length-based: Hosts()
+// rebuilds whenever len(Resources) differs from the cached length.
+func TestHostsCacheBulkAppend(t *testing.T) {
+	p := &Page{Site: "bulk.example"}
+	p.AddResource("https://first.example/a.js")
+	if got := p.Hosts(); !reflect.DeepEqual(got, []string{"first.example"}) {
+		t.Fatalf("warm-up Hosts = %v", got)
+	}
+	// Direct slice append, bypassing AddResource.
+	p.Resources = append(p.Resources, Resource{URL: "https://second.example/b.js", Host: "second.example"})
+	got := p.Hosts()
+	want := []string{"first.example", "second.example"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Hosts after direct append = %v, want %v (stale cache)", got, want)
+	}
+}
+
+func TestAddResourceAtAndDepth(t *testing.T) {
+	p := &Page{Site: "site.example"}
+	p.AddResource("https://page-asset.example/a.css") // index 1, depth 1
+	js := p.AddResourceAt("https://analytics.example/t.js", 0)
+	if js != 2 {
+		t.Fatalf("AddResourceAt index = %d, want 2", js)
+	}
+	beacon := p.AddResourceAt("https://beacon.example/b.gif", js) // depth 2
+	deep := p.AddResourceAt("https://deep.example/d.js", beacon)  // depth 3
+	for i, want := range map[int]int{0: 1, 1: 1, js - 1: 1, beacon - 1: 2, deep - 1: 3} {
+		if got := p.Depth(i); got != want {
+			t.Errorf("Depth(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Malformed parent links (self/forward references) degrade to depth 1.
+	q := &Page{Site: "bad.example", Resources: []Resource{{Host: "x.example", Parent: 1}}}
+	if got := q.Depth(0); got != 1 {
+		t.Errorf("self-parent Depth = %d, want 1", got)
+	}
+	hosts := p.Hosts()
+	want := []string{"analytics.example", "beacon.example", "deep.example", "page-asset.example"}
+	if !reflect.DeepEqual(hosts, want) {
+		t.Errorf("Hosts = %v, want %v", hosts, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range parent should panic")
+			}
+		}()
+		p.AddResourceAt("https://x.example/x", 99)
+	}()
+}
+
 func TestRenderExtractRoundTrip(t *testing.T) {
 	p := &Page{Site: "news.example"}
 	urls := []string{
