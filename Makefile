@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt examples race golden verify alloc-guards docs-check bench bench-pipeline bench-incident bench-delta bench-chain bench-compare loadtest loadtest-smoke
+.PHONY: all build test vet fmt examples race golden verify alloc-guards docs-check bench bench-pipeline bench-incident bench-delta bench-chain bench-scale bench-compare loadtest loadtest-smoke scale-smoke
 
 all: build test
 
@@ -53,9 +53,11 @@ docs-check:
 # suite, the race-enabled suite (which covers the pipeline cancellation,
 # simulation-abort and pool-shutdown tests), the golden byte-pinning tests,
 # the allocation budgets, the example builds, the documentation drift
-# checks, and a small end-to-end load smoke of the query API (depserver +
-# depload, scale 300, 1s).
-verify: build vet fmt test race golden examples alloc-guards docs-check loadtest-smoke
+# checks, a small end-to-end load smoke of the query API (depserver +
+# depload, scale 300, 1s), and the memory-budget smoke of the streaming
+# engine (50K -compact run: completes under a workable budget, fails fast
+# under an impossible one).
+verify: build vet fmt test race golden examples alloc-guards docs-check loadtest-smoke scale-smoke
 
 # loadtest runs the recorded serve load measurement: a prewarmed depserver
 # at scale 2000 driven by cmd/depload over the default endpoint mix, with
@@ -90,9 +92,23 @@ bench-delta:
 	./docs/bench.sh delta
 
 # bench-chain runs the chain-enabled measurement pipeline benchmark (2K and
-# paper-scale 100K arms, one iteration each) and rewrites BENCH_chain.json.
+# paper-scale 100K arms) and rewrites BENCH_chain.json.
 bench-chain:
 	./docs/bench.sh chain
+
+# bench-scale runs the columnar-engine scale benchmarks: the pointer-vs-
+# compact bytes_per_site comparison at 100K and the 1M-site end-to-end run
+# under an 8GiB budget. Rewrites BENCH_scale.json and fails unless the
+# compact graph holds a >= 4x bytes/site advantage. The 1M arm takes
+# minutes — this target is deliberately not part of `make bench`.
+bench-scale:
+	./docs/bench.sh scale
+
+# scale-smoke is the CI-sized memory-budget exercise wired into verify: a
+# 50K -compact depscope run must complete under 4GiB and fail fast (with
+# the greppable budget error) under 32MiB; writes no record.
+scale-smoke:
+	./docs/bench.sh scale-smoke
 
 # bench-compare reruns every recorded benchmark and diffs ns/op against the
 # committed BENCH_*.json records; any benchmark more than 10% slower than

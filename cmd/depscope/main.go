@@ -38,6 +38,7 @@ import (
 	"depscope/internal/chain"
 	"depscope/internal/conc"
 	"depscope/internal/incident"
+	"depscope/internal/membudget"
 	"depscope/internal/telemetry"
 )
 
@@ -108,6 +109,9 @@ func main() {
 		mitigateK  = flag.Int("mitigate", 0, "print a greedy mitigation plan: the K sites that should add a second provider to shrink aggregate impact the most (see docs/risk.md)")
 		chainsOn   = flag.Bool("chains", false, "measure transitive resource-inclusion chains: implicitly-trusted script/font vendors become a fourth dependency type (see docs/chains.md)")
 		chainsCfg  = flag.String("chain-config", "", "chain configuration JSON file overriding the -chains defaults (implies -chains; see docs/chains.md)")
+		compactOn  = flag.Bool("compact", false, "use the streaming/columnar engine: sites are materialized and measured in batches with landing pages released as the run advances, and the graph is stored columnar; output is identical (see docs/scale.md)")
+		memBudget  = flag.String("mem-budget", "", "soft live-heap limit for the run, e.g. 8GiB (implies -compact; checked at batch boundaries, over-budget runs fail fast; see docs/scale.md)")
+		batchSize  = flag.Int("batch-size", 0, "streaming batch length in sites for -compact runs (values < 1 mean 8192)")
 	)
 	flag.Parse()
 	if *showTelem {
@@ -161,6 +165,17 @@ func main() {
 	// stream or a -resume without its checkpoint should not cost a run.
 	if *resume && *ckptPath == "" {
 		log.Fatal("-resume requires -checkpoint")
+	}
+	var budget uint64
+	if *memBudget != "" {
+		budget, err = membudget.Parse(*memBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*compactOn = true
+	}
+	if *compactOn && *ckptPath != "" {
+		log.Fatal("-compact/-mem-budget runs do not support -checkpoint")
 	}
 	var stream *analysis.DeltaStream
 	if *timelineIn != "" {
@@ -250,6 +265,9 @@ func main() {
 		CheckpointPath: *ckptPath,
 		Resume:         *resume,
 		Chains:         chainCfg,
+		Compact:        *compactOn,
+		MemBudget:      budget,
+		BatchSize:      *batchSize,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -32,6 +32,7 @@ import (
 	"depscope/internal/dnsserver"
 	"depscope/internal/dnszone"
 	"depscope/internal/ecosystem"
+	"depscope/internal/membudget"
 	"depscope/internal/serve"
 
 	// Blank imports register the metrics of layers depserver does not call
@@ -58,19 +59,31 @@ func main() {
 // versa).
 func run() error {
 	var (
-		scale    = flag.Int("scale", 5000, "ranked-list length")
-		seed     = flag.Int64("seed", 2020, "generator seed")
-		year     = flag.Int("year", 2020, "snapshot year (2016 or 2020)")
-		addr     = flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
-		httpAddr = flag.String("http", "", "serve the query API, /metrics, /debug/vars and /debug/pprof on this address")
-		prewarm  = flag.Bool("prewarm", false, "build the analysis snapshot at startup (in the background) instead of on the first query")
-		delta    = flag.Bool("allow-delta", false, "enable the mutating POST /v1/delta endpoint (incremental snapshot edits; see docs/incremental.md)")
-		verbose  = flag.Bool("v", false, "log every query")
-		zonefile = flag.String("zonefile", "", "additionally serve a zone from this RFC 1035 master file")
-		export   = flag.String("export", "", "write the zone of this domain to stdout as a master file and exit")
-		chainsOn = flag.Bool("chains", false, "measure transitive resource-inclusion chains in the analysis snapshot and serve GET /v1/chains (see docs/chains.md)")
+		scale        = flag.Int("scale", 5000, "ranked-list length")
+		seed         = flag.Int64("seed", 2020, "generator seed")
+		year         = flag.Int("year", 2020, "snapshot year (2016 or 2020)")
+		addr         = flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
+		httpAddr     = flag.String("http", "", "serve the query API, /metrics, /debug/vars and /debug/pprof on this address")
+		prewarm      = flag.Bool("prewarm", false, "build the analysis snapshot at startup (in the background) instead of on the first query")
+		delta        = flag.Bool("allow-delta", false, "enable the mutating POST /v1/delta endpoint (incremental snapshot edits; see docs/incremental.md)")
+		verbose      = flag.Bool("v", false, "log every query")
+		zonefile     = flag.String("zonefile", "", "additionally serve a zone from this RFC 1035 master file")
+		export       = flag.String("export", "", "write the zone of this domain to stdout as a master file and exit")
+		chainsOn     = flag.Bool("chains", false, "measure transitive resource-inclusion chains in the analysis snapshot and serve GET /v1/chains (see docs/chains.md)")
+		compact      = flag.Bool("compact", false, "build analysis snapshots with the streaming/columnar engine; provider rankings are served straight off the columnar graph (see docs/scale.md)")
+		memBudgetStr = flag.String("mem-budget", "", "soft live-heap limit for snapshot builds, e.g. 8GiB (implies -compact; see docs/scale.md)")
 	)
 	flag.Parse()
+
+	var memBudget uint64
+	if *memBudgetStr != "" {
+		b, err := membudget.Parse(*memBudgetStr)
+		if err != nil {
+			return err
+		}
+		memBudget = b
+		*compact = true
+	}
 
 	snap := ecosystem.Y2020
 	if *year == 2016 {
@@ -138,7 +151,10 @@ func run() error {
 			chainCfg = &cfg
 		}
 		mgr := serve.NewManager(ctx, func(bctx context.Context) (*analysis.Run, error) {
-			return analysis.Execute(bctx, analysis.Options{Scale: *scale, Seed: *seed, Chains: chainCfg})
+			return analysis.Execute(bctx, analysis.Options{
+				Scale: *scale, Seed: *seed, Chains: chainCfg,
+				Compact: *compact, MemBudget: memBudget,
+			})
 		}, opts...)
 		if *prewarm {
 			mgr.Prewarm()

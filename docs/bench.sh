@@ -24,10 +24,23 @@
 # at least 10x faster than the rebuild arm. Suite "chain" runs the
 # chain-enabled measurement pipeline benchmark (BenchmarkChainMeasure: all
 # four passes with resource chains materialized, a 2K arm and the
-# paper-scale 100K arm, one iteration each) and rewrites BENCH_chain.json;
-# the edges/s metric in the raw output is informational — only ns/op is
-# recorded and compared. Suite "all" runs metrics, pipeline, incident,
-# delta, chain and serve.
+# paper-scale 100K arm) and rewrites BENCH_chain.json; the edges/s metric
+# in the raw output is informational — only ns/op is recorded and compared.
+# Suite "scale" runs the columnar-engine scale benchmarks
+# (BenchmarkGraphBytes: pointer vs compact graph construction at 100K with
+# the retained bytes_per_site metric; BenchmarkMeasureRun1M: the full
+# 1M-site compact pipeline under an 8GiB budget, one iteration), rewrites
+# BENCH_scale.json, and fails unless the compact arm's bytes_per_site is
+# at least 4x below the pointer arm's. Suite "scale-smoke" is the CI-sized
+# budget exercise wired into make verify: a 50K -compact depscope run must
+# complete under a workable budget AND fail fast under an impossible one;
+# no record written. Suite "all" runs metrics, pipeline, incident, delta,
+# chain and serve — not scale, whose 1M arm is a multi-minute run invoked
+# deliberately via make bench-scale.
+#
+# Every record-writing suite warns when a recorded line ran with fewer than
+# 2 iterations (a single sample is noise-prone); BenchmarkMeasureRun1M is
+# the deliberate exception — one iteration IS a full 1M-site run.
 #
 # Suite "compare" runs every recorded benchmark fresh — including a serve
 # load run — and diffs its ns/op against the committed BENCH_*.json records
@@ -35,7 +48,8 @@
 # benchmark) without rewriting any of them. A benchmark more than 10%
 # slower than its record fails the comparison (25% for the LoadServe*
 # records: wall-clock HTTP latency under OS scheduling jitter is noisier
-# than cooked go-bench averages); benchmarks present on only one side are
+# than cooked go-bench averages); bytes_per_op and bytes_per_site are also
+# diffed, with a 15% band; benchmarks present on only one side are
 # reported and skipped.
 set -eu
 
@@ -50,19 +64,32 @@ bench_json() {
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		ns = ""; bytes = ""; allocs = ""
+		ns = ""; bytes = ""; allocs = ""; persite = ""
 		for (i = 2; i <= NF; i++) {
-			if ($(i) == "ns/op")     ns = $(i - 1)
-			if ($(i) == "B/op")      bytes = $(i - 1)
-			if ($(i) == "allocs/op") allocs = $(i - 1)
+			if ($(i) == "ns/op")          ns = $(i - 1)
+			if ($(i) == "B/op")           bytes = $(i - 1)
+			if ($(i) == "allocs/op")      allocs = $(i - 1)
+			if ($(i) == "bytes_per_site") persite = $(i - 1)
 		}
 		if (ns == "") next
 		printf "{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
-		if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
-		if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+		if (bytes != "")   printf ", \"bytes_per_op\": %s", bytes
+		if (allocs != "")  printf ", \"allocs_per_op\": %s", allocs
+		if (persite != "") printf ", \"bytes_per_site\": %s", persite
 		print "}"
 	}
 	' "$1"
+}
+
+# warn_low_iters RAWFILE: a recorded ns/op averaged over a single iteration
+# is one noisy sample, not a benchmark; flag it. BenchmarkMeasureRun1M is
+# exempt — its unit of interest is one complete 1M-site run.
+warn_low_iters() {
+	awk '
+	/^Benchmark/ && / ns\/op/ && $1 !~ /^BenchmarkMeasureRun1M/ && $2 + 0 < 2 {
+		printf "warning: %s recorded with %d iteration(s); raise -benchtime so the record averages >= 2\n", $1, $2
+	}
+	' "$1" >&2
 }
 
 raw=$(mktemp)
@@ -113,11 +140,16 @@ if [ "$suite" = "compare" ]; then
 		-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch|BenchmarkDeltaApply' \
 		-benchmem -benchtime "$benchtime" ./... | tee "$raw"
 	go test -run '^$' -bench 'BenchmarkMeasureRun$|BenchmarkTelemetryOverhead$' \
-		-benchmem -benchtime 2x ./internal/measure/ | tee -a "$raw"
+		-benchmem -benchtime 3x ./internal/measure/ | tee -a "$raw"
 	go test -run '^$' -bench 'BenchmarkIncidentSweep$|BenchmarkIncidentMonteCarlo$' \
 		-benchmem -benchtime 5x ./internal/incident/ | tee -a "$raw"
 	go test -run '^$' -bench 'BenchmarkChainMeasure' \
-		-benchmem -benchtime 1x ./internal/measure/ | tee -a "$raw"
+		-benchmem -benchtime 3x ./internal/measure/ | tee -a "$raw"
+	# The scale suite's 1M arm is deliberately not re-run here (it is a
+	# multi-minute full pipeline); it shows up as "missing", which does not
+	# fail the comparison. The 100K bytes_per_site arms are cheap enough.
+	go test -run '^$' -bench 'BenchmarkGraphBytes' \
+		-benchmem -benchtime 3x -timeout 20m . | tee -a "$raw"
 
 	fresh=$(mktemp)
 	report=$(mktemp)
@@ -144,8 +176,25 @@ if [ "$suite" = "compare" ]; then
 		name = field($0, "name")
 		ns = field($0, "ns_per_op")
 		if (name == "" || ns == "") next
-		if (FILENAME == freshfile) freshns[name] = ns + 0
-		else committed[name] = ns + 0
+		b = field($0, "bytes_per_op")
+		ps = field($0, "bytes_per_site")
+		if (FILENAME == freshfile) {
+			freshns[name] = ns + 0
+			if (b != "")  freshb[name] = b + 0
+			if (ps != "") freshps[name] = ps + 0
+		} else {
+			committed[name] = ns + 0
+			if (b != "")  commb[name] = b + 0
+			if (ps != "") commps[name] = ps + 0
+		}
+	}
+	# check NAME OLD CUR LIMIT UNIT: print one verdict line; return 1 on a
+	# regression beyond the band.
+	function check(name, old, cur, limit, unit,    verdict) {
+		verdict = "ok"
+		if (cur > old * limit) verdict = "REGRESSED"
+		printf "%-10s %-55s %14.0f -> %.0f %s (%+.1f%%)\n", verdict, name, old, cur, unit, (cur - old) / old * 100
+		return verdict == "REGRESSED"
 	}
 	END {
 		bad = 0
@@ -154,25 +203,27 @@ if [ "$suite" = "compare" ]; then
 				printf "new        %-55s %14.0f ns/op (no committed record)\n", name, freshns[name]
 				continue
 			}
-			old = committed[name]
-			cur = freshns[name]
 			# Wall-clock HTTP latency (LoadServe*) jitters more than cooked
-			# go-bench averages; give it a wider band.
+			# go-bench averages; give it a wider band. Allocation footprints
+			# (bytes_per_op, bytes_per_site) are steadier than timings but a
+			# GC-sampled retained heap still wobbles: 15% band.
 			limit = (name ~ /^LoadServe/) ? 1.25 : 1.10
-			verdict = "ok"
-			if (cur > old * limit) { verdict = "REGRESSED"; bad = 1 }
-			printf "%-10s %-55s %14.0f -> %.0f ns/op (%+.1f%%)\n", verdict, name, old, cur, (cur - old) / old * 100
+			bad += check(name, committed[name], freshns[name], limit, "ns/op")
+			if ((name in freshb) && (name in commb) && commb[name] > 0)
+				bad += check(name, commb[name], freshb[name], 1.15, "B/op")
+			if ((name in freshps) && (name in commps) && commps[name] > 0)
+				bad += check(name, commps[name], freshps[name], 1.15, "bytes_per_site")
 		}
 		for (name in committed) {
 			if (!(name in freshns))
 				printf "missing    %-55s committed record was not exercised\n", name
 		}
-		exit bad
+		exit bad > 0
 	}
-	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json BENCH_delta.json BENCH_chain.json BENCH_serve.json "$fresh" > "$report" || status=1
+	' BENCH_metrics.json BENCH_pipeline.json BENCH_incident.json BENCH_delta.json BENCH_chain.json BENCH_scale.json BENCH_serve.json "$fresh" > "$report" || status=1
 	sort "$report"
 	if [ "$status" -ne 0 ]; then
-		echo "bench compare: ns/op regression above the allowed band" >&2
+		echo "bench compare: regression above the allowed band (ns/op, B/op or bytes_per_site)" >&2
 	fi
 	exit "$status"
 fi
@@ -203,6 +254,7 @@ if [ "$suite" = "metrics" ] || [ "$suite" = "all" ]; then
 	go test -run '^$' \
 		-bench 'BenchmarkFigure5ProviderConcentration|BenchmarkFigure6ConcentrationCDF|BenchmarkTopProvidersBatch' \
 		-benchmem -benchtime "$benchtime" ./... | tee "$raw"
+	warn_low_iters "$raw"
 	{
 		echo "["
 		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
@@ -214,9 +266,11 @@ fi
 if [ "$suite" = "pipeline" ] || [ "$suite" = "all" ]; then
 	out=BENCH_pipeline.json
 	# One iteration of the full 10K-site pipeline is the unit of interest;
-	# -benchtime 2x keeps the suite bounded while still averaging a warm run.
+	# -benchtime 3x keeps the suite bounded while averaging enough warm runs
+	# that the recorded ns/op is not a single sample.
 	go test -run '^$' -bench 'BenchmarkMeasureRun$|BenchmarkTelemetryOverhead$' \
-		-benchmem -benchtime 2x ./internal/measure/ | tee "$raw"
+		-benchmem -benchtime 3x ./internal/measure/ | tee "$raw"
+	warn_low_iters "$raw"
 	stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 	bench_json "$raw" | sed "s/^{/{\"utc\": \"$stamp\", /" >> "$out"
 	echo "appended to $out"
@@ -226,6 +280,7 @@ if [ "$suite" = "delta" ] || [ "$suite" = "all" ]; then
 	out=BENCH_delta.json
 	go test -run '^$' -bench 'BenchmarkDeltaApply' \
 		-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
+	warn_low_iters "$raw"
 	{
 		echo "["
 		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
@@ -247,16 +302,73 @@ fi
 
 if [ "$suite" = "chain" ] || [ "$suite" = "all" ]; then
 	out=BENCH_chain.json
-	# One iteration per arm: a single chain-enabled pipeline run is the unit
-	# of interest, and the 100K arm is a full paper-scale measurement.
+	# A single chain-enabled pipeline run is the unit of interest, and the
+	# 100K arm is a full paper-scale measurement — but one iteration is one
+	# noisy sample, so the record averages three.
 	go test -run '^$' -bench 'BenchmarkChainMeasure' \
-		-benchmem -benchtime 1x ./internal/measure/ | tee "$raw"
+		-benchmem -benchtime 3x -timeout 20m ./internal/measure/ | tee "$raw"
+	warn_low_iters "$raw"
 	{
 		echo "["
 		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
 		echo "]"
 	} > "$out"
 	echo "wrote $out"
+fi
+
+if [ "$suite" = "scale" ]; then
+	out=BENCH_scale.json
+	# Two benchmarks: the 100K bytes_per_site comparison (three iterations —
+	# the retained-heap metric is steadier than timings but still sampled),
+	# and the 1M-site end-to-end compact run, whose single iteration IS the
+	# measurement (generate + stream-measure + columnar build under 8GiB).
+	go test -run '^$' -bench 'BenchmarkGraphBytes' \
+		-benchmem -benchtime 3x -timeout 20m . | tee "$raw"
+	go test -run '^$' -bench 'BenchmarkMeasureRun1M$' \
+		-benchmem -benchtime 1x -timeout 60m . | tee -a "$raw"
+	warn_low_iters "$raw"
+	{
+		echo "["
+		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'
+		echo "]"
+	} > "$out"
+	echo "wrote $out"
+	# Acceptance gate: the columnar graph must retain at least 4x fewer
+	# bytes per site than the pointer graph at the paper's 100K scale.
+	awk '
+	/"name": "BenchmarkGraphBytes\/pointer-100K"/ { if (match($0, /"bytes_per_site": [0-9.e+]+/)) p = substr($0, RSTART + 18, RLENGTH - 18) + 0 }
+	/"name": "BenchmarkGraphBytes\/compact-100K"/ { if (match($0, /"bytes_per_site": [0-9.e+]+/)) c = substr($0, RSTART + 18, RLENGTH - 18) + 0 }
+	END {
+		if (p == 0 || c == 0) { print "scale suite: missing bytes_per_site records" > "/dev/stderr"; exit 1 }
+		printf "compact graph advantage at 100K: %.1fx (%.0f vs %.0f bytes/site)\n", p / c, c, p
+		if (p / c < 4) { print "scale suite: bytes_per_site advantage below the required 4x" > "/dev/stderr"; exit 1 }
+	}
+	' "$out"
+fi
+
+if [ "$suite" = "scale-smoke" ]; then
+	# CI-sized budget exercise: the same -compact/-mem-budget path the 1M
+	# run uses, at 50K. A workable budget must complete; an impossibly small
+	# one must fail fast with the budget error, not crawl or OOM.
+	bindir=$(mktemp -d)
+	go build -o "$bindir/depscope" ./cmd/depscope
+	"$bindir/depscope" -scale 50000 -mem-budget 4GiB -q -experiment table1 > /dev/null
+	if out=$("$bindir/depscope" -scale 50000 -mem-budget 32MiB -q -experiment table1 2>&1 >/dev/null); then
+		echo "scale smoke: 32MiB-budget run unexpectedly succeeded" >&2
+		rm -rf "$bindir"
+		exit 1
+	fi
+	rm -rf "$bindir"
+	case "$out" in
+	*"memory budget exceeded"*) ;;
+	*)
+		echo "scale smoke: tiny-budget run failed without the budget error:" >&2
+		echo "$out" >&2
+		exit 1
+		;;
+	esac
+	echo "scale smoke ok (50K compact run completed under 4GiB; 32MiB run failed fast with the budget error)"
+	exit 0
 fi
 
 if [ "$suite" = "incident" ] || [ "$suite" = "all" ]; then
@@ -266,6 +378,7 @@ if [ "$suite" = "incident" ] || [ "$suite" = "all" ]; then
 	# averages warm caches without dragging the suite out.
 	go test -run '^$' -bench 'BenchmarkIncidentSweep$|BenchmarkIncidentMonteCarlo$' \
 		-benchmem -benchtime 5x ./internal/incident/ | tee "$raw"
+	warn_low_iters "$raw"
 	{
 		echo "["
 		bench_json "$raw" | sed '$!s/$/,/; s/^/  /'

@@ -47,6 +47,9 @@ func HeuristicAblation(ctx context.Context, run *Run) ([]AblationRow, error) {
 		}
 	}
 	world := run.Y2020.World
+	if world.Streamed {
+		return nil, fmt.Errorf("analysis: ablations re-measure the world and need resident pages; run without -compact/-mem-budget")
+	}
 
 	var out []AblationRow
 	for _, v := range variants {
@@ -115,6 +118,9 @@ type ThresholdRow struct {
 // with provider-pointing SOAs become unmeasurable.
 func ThresholdSweep(ctx context.Context, run *Run, thresholds []int) ([]ThresholdRow, error) {
 	world := run.Y2020.World
+	if world.Streamed {
+		return nil, fmt.Errorf("analysis: threshold sweeps re-measure the world and need resident pages; run without -compact/-mem-budget")
+	}
 	var out []ThresholdRow
 	for _, th := range thresholds {
 		res, err := measure.Run(ctx, world.Sites, measure.Config{

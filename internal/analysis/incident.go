@@ -31,6 +31,24 @@ func SnapshotGraph(run *Run, snapshot string) (*core.Graph, error) {
 	return nil, fmt.Errorf("analysis: unknown snapshot %q (want 2016 or 2020)", snapshot)
 }
 
+// snapshotData resolves a snapshot name to its full SnapshotData, for
+// callers that can exploit the columnar representation when present.
+func snapshotData(run *Run, snapshot string) (*SnapshotData, error) {
+	switch snapshot {
+	case "2016":
+		if run.Y2016 == nil {
+			return nil, fmt.Errorf("analysis: the 2016 snapshot was not measured in this run")
+		}
+		return run.Y2016, nil
+	case "", "2020":
+		if run.Y2020 == nil {
+			return nil, fmt.Errorf("analysis: the 2020 snapshot was not measured in this run")
+		}
+		return run.Y2020, nil
+	}
+	return nil, fmt.Errorf("analysis: unknown snapshot %q (want 2016 or 2020)", snapshot)
+}
+
 // SimulateIncident plays one scenario against the snapshot it names.
 func SimulateIncident(ctx context.Context, run *Run, sc *incident.Scenario) (*incident.Report, error) {
 	g, err := SnapshotGraph(run, sc.Snapshot)

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"depscope/internal/chain"
@@ -15,6 +16,7 @@ import (
 	"depscope/internal/core"
 	"depscope/internal/ecosystem"
 	"depscope/internal/measure"
+	"depscope/internal/membudget"
 	"depscope/internal/telemetry"
 )
 
@@ -24,6 +26,11 @@ type SnapshotData struct {
 	World    *ecosystem.World
 	Results  *measure.Results
 	Graph    *core.Graph
+	// Compact is the columnar graph representation, set only on compact
+	// (streamed) runs. Graph is inflated from it, so every pointer-graph
+	// consumer keeps working; Compact is what scale-sensitive callers (serve
+	// snapshots, the bytes/site accounting) should reach for.
+	Compact *core.CompactGraph
 }
 
 // Run is a complete two-snapshot experiment run.
@@ -71,7 +78,28 @@ type Options struct {
 	// provider nodes to the graphs. Nil leaves every artifact (results,
 	// graphs, reports, checkpoints) byte-identical to a chains-off run.
 	Chains *chain.Config
+	// Compact switches to the streaming/columnar path: sites are
+	// materialized and measured in batches (landing pages released after
+	// each batch), snapshots run sequentially instead of concurrently, and
+	// each snapshot additionally carries a core.CompactGraph. The report
+	// output is byte-identical to the default path. Incompatible with
+	// checkpointing (a stream exists to avoid holding what a checkpoint
+	// would record).
+	Compact bool
+	// MemBudget, in bytes, soft-limits live heap on the compact path:
+	// checked at batch boundaries, a run that stays over budget after GC
+	// fails fast with membudget.BudgetError. Setting it implies Compact;
+	// 0 means unlimited.
+	MemBudget uint64
+	// BatchSize is the compact path's streaming batch length in sites;
+	// values < 1 mean 8192.
+	BatchSize int
 }
+
+// defaultBatchSize is the compact path's streaming batch length when
+// Options.BatchSize is unset: big enough to amortize per-batch overheads,
+// small enough that one batch's landing pages are memory noise.
+const defaultBatchSize = 8192
 
 // Execute generates, materializes and measures both snapshots.
 func Execute(ctx context.Context, opts Options) (*Run, error) {
@@ -80,6 +108,15 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 	}
 	if opts.Resume && opts.CheckpointPath == "" {
 		return nil, fmt.Errorf("analysis: Resume requires CheckpointPath")
+	}
+	if opts.MemBudget > 0 {
+		opts.Compact = true
+	}
+	if opts.Compact && (opts.CheckpointPath != "" || opts.Resume) {
+		return nil, fmt.Errorf("analysis: compact (streamed) runs do not support checkpointing")
+	}
+	if opts.BatchSize < 1 {
+		opts.BatchSize = defaultBatchSize
 	}
 	if opts.Workers < 1 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -110,9 +147,15 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 		snaps = []ecosystem.Snapshot{ecosystem.Y2016, ecosystem.Y2020}
 	}
 	// The snapshots are independent: fan them out over the shared pool (one
-	// worker per snapshot — the measurement itself parallelizes inside).
+	// worker per snapshot — the measurement itself parallelizes inside). On
+	// the compact path they instead run sequentially, so only one snapshot's
+	// working set is live at a time and the memory budget is meaningful.
+	snapWorkers := len(snaps)
+	if opts.Compact {
+		snapWorkers = 1
+	}
 	measured := make([]*SnapshotData, len(snaps))
-	err = conc.ForEach(ctx, len(snaps), len(snaps), conc.FailFast, func(ctx context.Context, i int) error {
+	err = conc.ForEach(ctx, len(snaps), snapWorkers, conc.FailFast, func(ctx context.Context, i int) error {
 		sd, err := measureSnapshot(ctx, u, snaps[i], opts)
 		if err != nil {
 			return fmt.Errorf("analysis: snapshot %s: %w", snaps[i], err)
@@ -137,6 +180,9 @@ func Execute(ctx context.Context, opts Options) (*Run, error) {
 
 func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.Snapshot, opts Options) (*SnapshotData, error) {
 	defer telemetry.StartSpan("analysis.measure_snapshot").End()
+	if opts.Compact {
+		return measureSnapshotCompact(ctx, u, snap, opts)
+	}
 	w := ecosystem.Materialize(u, snap)
 	if opts.Chains != nil && opts.Chains.Enabled() {
 		ecosystem.MaterializeChains(u, w, *opts.Chains)
@@ -178,6 +224,127 @@ func measureSnapshot(ctx context.Context, u *ecosystem.Universe, snap ecosystem.
 		Results:  res,
 		Graph:    g,
 	}, nil
+}
+
+// measureSnapshotCompact is the streaming/columnar form of measureSnapshot:
+// site zones and landing pages are materialized in Options.BatchSize
+// batches, pages are released after their batch is measured, the memory
+// budget is enforced at batch boundaries, and the graph is built columnar
+// first (the pointer Graph is inflated from it). Produces the identical
+// Results and report output — the equality tests pin this.
+func measureSnapshotCompact(ctx context.Context, u *ecosystem.Universe, snap ecosystem.Snapshot, opts Options) (*SnapshotData, error) {
+	acct := membudget.New(opts.MemBudget)
+	c := ecosystem.NewChunked(u, snap)
+	if opts.Chains != nil && opts.Chains.Enabled() {
+		c.EnableChains(*opts.Chains)
+	}
+	w := c.World()
+	st, err := measure.NewStream(c.SiteNames(), measure.Config{
+		Resolver:               w.NewResolver(),
+		Certs:                  w.Certs,
+		Pages:                  w,
+		CDNMap:                 measure.CDNMap(w.CNAMEToCDN),
+		Workers:                opts.Workers,
+		ConcentrationThreshold: opts.ConcentrationThreshold,
+		ErrorPolicy:            opts.ErrorPolicy,
+		Chains:                 opts.Chains,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := c.Len()
+	for lo := 0; lo < n; lo += opts.BatchSize {
+		hi := lo + opts.BatchSize
+		if hi > n {
+			hi = n
+		}
+		c.AddSites(lo, hi)
+		if err := st.ResolveBatch(ctx, lo, hi); err != nil {
+			return nil, err
+		}
+		if err := acct.Check("zone materialization"); err != nil {
+			return nil, err
+		}
+	}
+	st.Seal()
+	for lo := 0; lo < n; lo += opts.BatchSize {
+		hi := lo + opts.BatchSize
+		if hi > n {
+			hi = n
+		}
+		c.MaterializePages(lo, hi)
+		if err := st.MeasureBatch(ctx, lo, hi); err != nil {
+			return nil, err
+		}
+		c.ReleasePages(lo, hi)
+		if err := acct.Check("site measurement"); err != nil {
+			return nil, err
+		}
+	}
+	res, err := st.Finish(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := acct.Check("inter-service resolution"); err != nil {
+		return nil, err
+	}
+	cg := BuildCompactGraph(res)
+	cg.SetMetricsWorkers(opts.Workers)
+	g := cg.Inflate()
+	g.SetMetricsWorkers(opts.Workers)
+	if err := acct.Check("graph build"); err != nil {
+		return nil, err
+	}
+	return &SnapshotData{
+		Snapshot: snap,
+		World:    w,
+		Results:  res,
+		Graph:    g,
+		Compact:  cg,
+	}, nil
+}
+
+// BuildCompactGraph converts measurement results into the columnar graph,
+// mirroring BuildGraph edge for edge: the property tests pin that the two
+// representations score identically and inflate to equal pointer graphs.
+func BuildCompactGraph(res *measure.Results) *core.CompactGraph {
+	b := core.NewCompactBuilder()
+	for i := range res.Sites {
+		sr := &res.Sites[i]
+		b.AddSite(sr.Site, sr.Rank)
+		b.SetDep(core.DNS, sr.DNS.Class, sr.DNS.Providers)
+		if sr.CDN.UsesCDN {
+			b.SetDep(core.CDN, sr.CDN.Class, sr.CDN.Third)
+		}
+		if sr.CA.HTTPS {
+			var provs []string
+			if sr.CA.Third {
+				provs = []string{sr.CA.CAName}
+			}
+			b.SetDep(core.CA, sr.CA.Class, provs)
+		}
+		for _, pc := range sr.CDN.PrivateCDNs {
+			b.AddPrivateCandidate(core.CDN, pc)
+		}
+		if sr.CA.HTTPS && !sr.CA.Third && sr.CA.CAName != "" {
+			b.AddPrivateCandidate(core.CA, sr.CA.CAName)
+		}
+		for _, cr := range sr.Chains {
+			b.AddChain(cr.Provider, cr.Depth)
+		}
+	}
+	exists := func(svc core.Service, name string) bool {
+		switch svc {
+		case core.CDN:
+			_, ok := res.CDNToDNS[name]
+			return ok
+		case core.CA:
+			_, ok := res.CAToDNS[name]
+			return ok
+		}
+		return false
+	}
+	return b.Build(buildProviderNodes(res), exists)
 }
 
 // BuildGraph converts measurement results into the core dependency graph.
@@ -226,6 +393,15 @@ func BuildGraph(res *measure.Results) *core.Graph {
 		sites = append(sites, node)
 	}
 
+	return core.NewGraph(sites, buildProviderNodes(res))
+}
+
+// buildProviderNodes derives the provider-side node set from the measured
+// inter-service arrangements. Shared between BuildGraph and
+// BuildCompactGraph so the two representations cannot drift in which
+// providers exist or what they depend on. The slice is name-sorted for a
+// deterministic columnar layout.
+func buildProviderNodes(res *measure.Results) []*core.Provider {
 	providerNodes := make(map[string]*core.Provider)
 	ensure := func(name string, svc core.Service) *core.Provider {
 		p, ok := providerNodes[name]
@@ -261,9 +437,10 @@ func BuildGraph(res *measure.Results) *core.Graph {
 			p.Deps[core.CDN] = core.Dep{Class: dep.Class, Providers: dep.Deps}
 		}
 	}
-	var providers []*core.Provider
+	providers := make([]*core.Provider, 0, len(providerNodes))
 	for _, p := range providerNodes {
 		providers = append(providers, p)
 	}
-	return core.NewGraph(sites, providers)
+	sort.Slice(providers, func(i, j int) bool { return providers[i].Name < providers[j].Name })
+	return providers
 }

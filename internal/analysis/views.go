@@ -152,9 +152,14 @@ func SiteNames(run *Run, snapshot string) ([]string, error) {
 // indirect traversal. It consults the graph's metrics engine, which caches
 // the batch propagation — call it at snapshot-build time, not per request.
 func RankedProviders(run *Run, snapshot string, svc core.Service, byImpact bool) ([]core.ProviderStat, error) {
-	g, err := SnapshotGraph(run, snapshot)
+	sd, err := snapshotData(run, snapshot)
 	if err != nil {
 		return nil, err
 	}
-	return g.TopProviders(svc, core.AllIndirect(), byImpact, 0), nil
+	// Compact runs rank straight off the columnar engine — property-tested
+	// to order identically to the pointer graph's ranking.
+	if sd.Compact != nil {
+		return sd.Compact.TopProviders(svc, core.AllIndirect(), byImpact, 0), nil
+	}
+	return sd.Graph.TopProviders(svc, core.AllIndirect(), byImpact, 0), nil
 }

@@ -1,7 +1,14 @@
 package ecosystem
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"testing"
+
+	"depscope/internal/chain"
+	"depscope/internal/measure"
 )
 
 // These tests guard the calibration tables themselves: every provider a
@@ -151,6 +158,157 @@ func TestSiteSnapshotsConsistent(t *testing.T) {
 				ss.DNSTrap == TrapVanityNS) && !ss.HTTPS {
 				t.Fatalf("%s %s: alias trap on non-HTTPS site", s.Domain, snap)
 			}
+		}
+	}
+}
+
+// chunkedWorld drives the streaming materializer to completion — zones in
+// batches, then pages in batches, without releasing them — so the result can
+// be compared against the monolithic Materialize output.
+func chunkedWorld(t *testing.T, u *Universe, snap Snapshot, cfg *chain.Config, batch int) *World {
+	t.Helper()
+	c := NewChunked(u, snap)
+	if cfg != nil {
+		c.EnableChains(*cfg)
+	}
+	n := c.Len()
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		c.AddSites(lo, hi)
+	}
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		c.MaterializePages(lo, hi)
+	}
+	return c.World()
+}
+
+// TestChunkedMatchesMonolithic pins the streaming materializer to the
+// monolithic one: for the same universe, a chunked world with every batch
+// materialized has the identical ranked site list and identical per-site
+// content fingerprints (zones, certificates, pages, chain growth, CNAME→CDN
+// map — everything the measurement can observe), for both snapshots and
+// across awkward batch sizes.
+func TestChunkedMatchesMonolithic(t *testing.T) {
+	u, err := Generate(Options{Scale: 400, Seed: 2020})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chain.Default()
+	for _, snap := range []Snapshot{Y2016, Y2020} {
+		mono := Materialize(u, snap)
+		MaterializeChains(u, mono, cfg)
+		want := mono.SiteFingerprints()
+		for _, batch := range []int{1000, 64, 31} {
+			w := chunkedWorld(t, u, snap, &cfg, batch)
+			if len(w.Sites) != len(mono.Sites) {
+				t.Fatalf("%s batch %d: %d sites, want %d", snap, batch, len(w.Sites), len(mono.Sites))
+			}
+			for i := range w.Sites {
+				if w.Sites[i] != mono.Sites[i] {
+					t.Fatalf("%s batch %d: site order diverges at %d: %s vs %s",
+						snap, batch, i, w.Sites[i], mono.Sites[i])
+				}
+			}
+			got := w.SiteFingerprints()
+			mismatches := 0
+			for site, fp := range want {
+				if got[site] != fp {
+					t.Errorf("%s batch %d: fingerprint mismatch for %s", snap, batch, site)
+					if mismatches++; mismatches > 3 {
+						t.Fatal("too many fingerprint mismatches")
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedMeasurementWorkerDeterminism pins worker-count independence on
+// the full streaming path (chunked materialization + batched measurement
+// with page release): the measurement output is a pure function of the
+// universe, not of scheduling.
+func TestStreamedMeasurementWorkerDeterminism(t *testing.T) {
+	u, err := Generate(Options{Scale: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chain.Default()
+	hashRes := func(res *measure.Results) string {
+		view := struct {
+			Sites           []measure.SiteResult
+			NSConcentration map[string]int
+			CDNToDNS        map[string]measure.ProviderDep
+			CAToDNS         map[string]measure.ProviderDep
+			CAToCDN         map[string]measure.ProviderDep
+			ResourceToDNS   map[string]measure.ProviderDep
+			ResourceToCDN   map[string]measure.ProviderDep
+		}{res.Sites, res.NSConcentration, res.CDNToDNS, res.CAToDNS, res.CAToCDN,
+			res.ResourceToDNS, res.ResourceToCDN}
+		b, err := json.Marshal(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(b)
+		return hex.EncodeToString(sum[:])
+	}
+
+	const batch = 75
+	var want string
+	for i, workers := range []int{1, 6} {
+		c := NewChunked(u, Y2020)
+		c.EnableChains(cfg)
+		w := c.World()
+		st, err := measure.NewStream(c.SiteNames(), measure.Config{
+			Resolver: w.NewResolver(),
+			Certs:    w.Certs,
+			Pages:    w,
+			CDNMap:   measure.CDNMap(w.CNAMEToCDN),
+			Workers:  workers,
+			Chains:   &cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		n := c.Len()
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			c.AddSites(lo, hi)
+			if err := st.ResolveBatch(ctx, lo, hi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Seal()
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			c.MaterializePages(lo, hi)
+			if err := st.MeasureBatch(ctx, lo, hi); err != nil {
+				t.Fatal(err)
+			}
+			c.ReleasePages(lo, hi)
+		}
+		res, err := st.Finish(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := hashRes(res)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("workers=%d: streamed measurement hash %s != workers=1 %s", workers, got, want)
 		}
 	}
 }

@@ -26,6 +26,12 @@ type World struct {
 	// CNAMEToCDN is the self-populated CNAME-suffix → CDN-name map of the
 	// paper's §3.3, including the known private CDNs.
 	CNAMEToCDN map[string]string
+	// Streamed marks a world built by the chunked/streaming path: landing
+	// pages are materialized per batch and released after measurement, so
+	// Pages must not be relied on after the run. Consumers that re-measure
+	// (ablations, sweeps) check this flag and fail with a clear error
+	// instead of silently measuring a page-less world.
+	Streamed bool
 }
 
 // Page returns the landing page of site, or nil.
@@ -247,7 +253,37 @@ func pkiDomain(site *Site) string {
 }
 
 // site materializes one website: its zone(s), certificate and landing page.
+// The zone and page halves are separable so the chunked path (chunked.go)
+// can materialize all zones in one sweep and pages batch-by-batch; calling
+// them back to back here produces a world byte-identical to the historical
+// single-pass materialization (pinned by the invariants tests).
 func (m *materializer) site(s *Site) {
+	m.siteZone(s)
+	m.sitePage(s)
+}
+
+// siteInternalHosts returns the site-owned hosts its landing page loads
+// assets from — the coupling point between the zone half (which wires the
+// hosts into DNS) and the page half (which references them). It is a pure
+// function of the snapshot state so both halves compute identical lists.
+func siteInternalHosts(s *Site, ss *SiteSnapshot) []string {
+	d := s.Domain
+	hosts := []string{"www." + d}
+	if ss.CDNMode != DepNone {
+		hosts = append(hosts, "static."+d)
+	}
+	switch {
+	case ss.PrivateCDN && (ss.CDNTrap == TrapPrivateCDNAlias || ss.CDNTrap == TrapPrivateCDNForeignSOA):
+		hosts = append(hosts, "img."+s.AliasDomain())
+	case ss.PrivateCDN:
+		hosts = append(hosts, "cdn."+d)
+	}
+	return hosts
+}
+
+// siteZone materializes one website's DNS zone(s), CNAME→CDN entries and
+// certificate — everything except the landing page.
+func (m *materializer) siteZone(s *Site) {
 	ss := s.Snap[m.snap]
 	d := s.Domain
 	origin := d + "."
@@ -299,27 +335,19 @@ func (m *materializer) site(s *Site) {
 
 	z.MustAdd(dnsmsg.Record{Name: origin, Type: dnsmsg.TypeA, TTL: 300, IP: []byte{192, 0, 2, 1}})
 
-	// --- Landing page and CDN wiring ---
-	page := &webpage.Page{Site: d}
-	internalHosts := []string{"www." + d}
-	if ss.CDNMode != DepNone {
-		internalHosts = append(internalHosts, "static."+d)
-	}
+	// --- CDN wiring for the page's internal hosts ---
+	internalHosts := siteInternalHosts(s, &ss)
 	needsAlias := ss.DNSTrap == TrapVanityNS ||
 		ss.CDNTrap == TrapPrivateCDNAlias || ss.CDNTrap == TrapPrivateCDNForeignSOA
 
 	switch {
 	case ss.PrivateCDN && (ss.CDNTrap == TrapPrivateCDNAlias || ss.CDNTrap == TrapPrivateCDNForeignSOA):
 		// Content rides the alias-domain CDN (yahoo/yimg, instagram).
-		alias := s.AliasDomain()
-		host := "img." + alias
-		internalHosts = append(internalHosts, host)
-		m.w.CNAMEToCDN[alias] = d + " private CDN"
+		m.w.CNAMEToCDN[s.AliasDomain()] = d + " private CDN"
 		z.MustAdd(dnsmsg.Record{Name: "www." + d + ".", Type: dnsmsg.TypeA, TTL: 300, IP: []byte{192, 0, 2, 2}})
 	case ss.PrivateCDN:
 		// In-domain private CDN: cdn.<site> is both suffix and target.
 		host := "cdn." + d
-		internalHosts = append(internalHosts, host)
 		m.w.CNAMEToCDN[host] = d + " private CDN"
 		z.MustAdd(dnsmsg.Record{Name: host + ".", Type: dnsmsg.TypeA, TTL: 300, IP: []byte{192, 0, 2, 3}})
 		z.MustAdd(dnsmsg.Record{Name: "www." + d + ".", Type: dnsmsg.TypeA, TTL: 300, IP: []byte{192, 0, 2, 2}})
@@ -335,12 +363,6 @@ func (m *materializer) site(s *Site) {
 	default:
 		z.MustAdd(dnsmsg.Record{Name: "www." + d + ".", Type: dnsmsg.TypeA, TTL: 300, IP: []byte{192, 0, 2, 2}})
 	}
-	for _, host := range internalHosts {
-		page.AddResource("https://" + host + "/asset-" + slugOf(host) + ".js")
-	}
-	page.AddResource("https://cdn." + externalDomains[0] + "/analytics.js")
-	page.AddResource("https://fonts." + externalDomains[1] + "/font.woff2")
-	m.w.Pages[d] = page
 	m.w.Zones.AddZone(z)
 
 	// --- Alias-domain zone (vanity NS, private-CDN alias) ---
@@ -352,6 +374,21 @@ func (m *materializer) site(s *Site) {
 	if ss.HTTPS {
 		m.certificate(s, &ss, needsAlias)
 	}
+}
+
+// sitePage materializes one website's landing page: an asset per internal
+// host (recomputed from the same snapshot state siteZone wired into DNS)
+// plus the shared external resources.
+func (m *materializer) sitePage(s *Site) {
+	ss := s.Snap[m.snap]
+	d := s.Domain
+	page := &webpage.Page{Site: d}
+	for _, host := range siteInternalHosts(s, &ss) {
+		page.AddResource("https://" + host + "/asset-" + slugOf(host) + ".js")
+	}
+	page.AddResource("https://cdn." + externalDomains[0] + "/analytics.js")
+	page.AddResource("https://fonts." + externalDomains[1] + "/font.woff2")
+	m.w.Pages[d] = page
 }
 
 // aliasZone materializes the site's brand-alias domain.

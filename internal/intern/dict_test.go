@@ -1,0 +1,98 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDictDenseIDs: first-seen order, stability, and round-tripping.
+func TestDictDenseIDs(t *testing.T) {
+	d := NewDict()
+	if d.Len() != 0 {
+		t.Fatalf("empty Dict Len = %d", d.Len())
+	}
+	names := []string{"dyn", "cloudflare", "aws", "dyn", "cloudflare"}
+	want := []uint32{0, 1, 2, 0, 1}
+	for i, n := range names {
+		if id := d.ID(n); id != want[i] {
+			t.Fatalf("ID(%q) = %d, want %d", n, id, want[i])
+		}
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	for i, n := range []string{"dyn", "cloudflare", "aws"} {
+		if got := d.Name(uint32(i)); got != n {
+			t.Fatalf("Name(%d) = %q, want %q", i, got, n)
+		}
+	}
+	if id, ok := d.Lookup("cloudflare"); !ok || id != 1 {
+		t.Fatalf("Lookup(cloudflare) = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Fatal("Lookup(absent) reported present")
+	}
+	if d.Bytes() == 0 {
+		t.Fatal("Bytes() = 0 for non-empty dict")
+	}
+}
+
+// TestDictNamePanics: out-of-range IDs must fail loudly, not alias.
+func TestDictNamePanics(t *testing.T) {
+	d := NewDict()
+	d.ID("only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name(99) did not panic")
+		}
+	}()
+	d.Name(99)
+}
+
+// TestDictConcurrent hammers ID from many goroutines over an overlapping
+// key set and verifies every name maps to exactly one ID afterwards.
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	const workers, keys = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				d.ID(fmt.Sprintf("name-%03d", (i+w)%keys))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != keys {
+		t.Fatalf("Len = %d, want %d", d.Len(), keys)
+	}
+	seen := make(map[uint32]bool, keys)
+	for i := 0; i < keys; i++ {
+		id, ok := d.Lookup(fmt.Sprintf("name-%03d", i))
+		if !ok || seen[id] {
+			t.Fatalf("name-%03d: ok=%v dup=%v id=%d", i, ok, seen[id], id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestGlobalDict: the process-wide table is shared and stable.
+func TestGlobalDict(t *testing.T) {
+	a := NameID("global-dict-probe-a")
+	b := NameID("global-dict-probe-b")
+	if a == b {
+		t.Fatal("distinct names share an ID")
+	}
+	if NameID("global-dict-probe-a") != a {
+		t.Fatal("ID not stable")
+	}
+	if NameOf(a) != "global-dict-probe-a" {
+		t.Fatalf("NameOf(%d) = %q", a, NameOf(a))
+	}
+	if GlobalDict().Len() < 2 {
+		t.Fatal("global dict unexpectedly small")
+	}
+}

@@ -123,25 +123,7 @@ func (m *measurer) classifySiteChains(_ context.Context, site string) ([]ChainRe
 // filling Results.ResourceToDNS / ResourceToCDN. It also publishes the
 // run-level chain telemetry aggregates.
 func (m *measurer) chainService(ctx context.Context, res *Results) error {
-	// Vendor population + depth aggregates from the site pass.
-	vendors := make(map[string]bool)
-	edges, depthSum, maxDepth := 0, 0, 0
-	for i := range res.Sites {
-		for _, ref := range res.Sites[i].Chains {
-			vendors[ref.Provider] = true
-			edges++
-			depthSum += ref.Depth
-			if ref.Depth > maxDepth {
-				maxDepth = ref.Depth
-			}
-		}
-	}
-	chainEdgesBuilt.Add(int64(edges))
-	chainVendorsSeen.Add(int64(len(vendors)))
-	chainMaxDepth.Set(int64(maxDepth))
-	if edges > 0 {
-		chainMeanDepthMilli.Set(int64(float64(depthSum) / float64(edges) * 1000))
-	}
+	vendors := m.chainAggregates(res)
 
 	// Observed hosts per vendor (for CNAME-chain CDN detection), gathered
 	// sequentially from the pages so the host lists are deterministic.
@@ -169,10 +151,48 @@ func (m *measurer) chainService(ctx context.Context, res *Results) error {
 			}
 		}
 	}
+	sortVendorHosts(vendorHosts)
+
+	return m.chainResolve(ctx, res, vendors, vendorHosts)
+}
+
+// chainAggregates derives the vendor population from the site pass and
+// publishes the run-level chain telemetry. Shared between the monolithic
+// pass above and the streaming Finish, which gathers vendor hosts per batch
+// instead (pages are gone by the time the vendor population is complete).
+func (m *measurer) chainAggregates(res *Results) map[string]bool {
+	vendors := make(map[string]bool)
+	edges, depthSum, maxDepth := 0, 0, 0
+	for i := range res.Sites {
+		for _, ref := range res.Sites[i].Chains {
+			vendors[ref.Provider] = true
+			edges++
+			depthSum += ref.Depth
+			if ref.Depth > maxDepth {
+				maxDepth = ref.Depth
+			}
+		}
+	}
+	chainEdgesBuilt.Add(int64(edges))
+	chainVendorsSeen.Add(int64(len(vendors)))
+	chainMaxDepth.Set(int64(maxDepth))
+	if edges > 0 {
+		chainMeanDepthMilli.Set(int64(float64(depthSum) / float64(edges) * 1000))
+	}
+	return vendors
+}
+
+// sortVendorHosts orders each vendor's observed host list.
+func sortVendorHosts(vendorHosts map[string][]string) {
 	for _, hosts := range vendorHosts {
 		sort.Strings(hosts)
 	}
+}
 
+// chainResolve resolves every vendor's own DNS/CDN arrangement into
+// Results.ResourceToDNS / ResourceToCDN, given the vendor population and
+// each vendor's observed resource hosts.
+func (m *measurer) chainResolve(ctx context.Context, res *Results, vendors map[string]bool, vendorHosts map[string][]string) error {
 	res.ResourceToDNS = make(map[string]ProviderDep)
 	res.ResourceToCDN = make(map[string]ProviderDep)
 	vendorList := sortedKeys(vendors)

@@ -1,0 +1,275 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"depscope/internal/conc"
+	"depscope/internal/core"
+	"depscope/internal/publicsuffix"
+	"depscope/internal/telemetry"
+)
+
+// Stream is the batched form of Run for worlds whose landing pages are
+// materialized and released one batch at a time. The driving sequence is
+//
+//	st, _ := NewStream(sites, cfg)
+//	for each batch: st.ResolveBatch(ctx, lo, hi)   // zones must exist
+//	st.Seal()                                      // concentration signal
+//	for each batch: st.MeasureBatch(ctx, lo, hi)   // pages must exist
+//	res, _ := st.Finish(ctx)
+//
+// and yields Results identical to Run over the same fully-materialized
+// world (the ecosystem invariants tests pin this, worker counts included).
+// The split exists because of two global signals: the §3.1 concentration
+// signal needs every site's NS set before any site can be classified
+// (hence the Seal barrier between the resolve and measure sweeps), and the
+// chain vendor population is only complete after the last batch (hence
+// vendor hosts are gathered per batch, while the batch's pages are still
+// live, and resolved in Finish).
+//
+// Checkpointing is not supported on the streaming path: a stream exists to
+// avoid holding what a checkpoint would have to record.
+type Stream struct {
+	m      *measurer
+	sites  []string
+	nsSets [][]string
+	res    *Results
+
+	sealed   bool
+	finished bool
+
+	// hostCand[i] holds site i's deduplicated (registrable domain, host)
+	// resource pairs, captured during the site's batch. Finish filters them
+	// through the complete vendor population — replaying exactly the
+	// sequential page walk chainService performs monolithically. Nil unless
+	// chains are enabled.
+	hostCand [][]rdHost
+}
+
+type rdHost struct{ rd, host string }
+
+// NewStream validates cfg and prepares a stream over the full ranked site
+// list (known up front; only the per-site artifacts stream).
+func NewStream(sites []string, cfg Config) (*Stream, error) {
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("measure: Config.Resolver is required")
+	}
+	if cfg.Checkpoint != nil || cfg.OnCheckpoint != nil {
+		return nil, fmt.Errorf("measure: checkpointing is not supported on the streaming path")
+	}
+	if cfg.ConcentrationThreshold == 0 {
+		cfg.ConcentrationThreshold = 50
+	}
+	m := &measurer{
+		cfg:    cfg,
+		stages: defaultStages(),
+		diag:   newDiagCollector(),
+	}
+	if m.chainEnabled() {
+		m.stages = append(m.stages, chainStage{})
+	}
+	m.initTelemetry()
+	return &Stream{m: m, sites: sites, nsSets: make([][]string, len(sites))}, nil
+}
+
+// Len returns the number of sites in the stream.
+func (s *Stream) Len() int { return len(s.sites) }
+
+// SiteResult exposes site i's (possibly not yet measured) result row.
+func (s *Stream) SiteResult(i int) *SiteResult { return &s.res.Sites[i] }
+
+// ResolveBatch runs the pass-1 NS resolution for sites [lo, hi). The
+// sites' zones must be materialized; pages are not needed.
+func (s *Stream) ResolveBatch(ctx context.Context, lo, hi int) error {
+	if s.sealed {
+		panic("measure: Stream.ResolveBatch after Seal")
+	}
+	m := s.m
+	defer telemetry.StartSpan("measure.resolve_pass").End()
+	return conc.ForEach(ctx, hi-lo, m.cfg.Workers, conc.FailFast, func(ctx context.Context, j int) error {
+		i := lo + j
+		start := time.Now()
+		ns, err := m.cfg.Resolver.NS(ctx, s.sites[i])
+		m.resolveHist.ObserveDuration(time.Since(start))
+		m.diag.observe(stageResolve, err)
+		if err != nil {
+			if m.cfg.ErrorPolicy == conc.Collect {
+				m.diag.record(s.sites[i], stageResolve, err)
+				s.nsSets[i] = nil
+				return nil
+			}
+			return fmt.Errorf("NS(%s): %w", s.sites[i], err)
+		}
+		sort.Strings(ns)
+		s.nsSets[i] = ns
+		return nil
+	})
+}
+
+// Seal closes pass 1: the concentration signal is computed over the full
+// population and the CDN map is compiled — deferred to here because
+// per-site CNAME→CDN entries (private CDNs) appear while site zones
+// materialize, and Config.CDNMap may alias that live map.
+func (s *Stream) Seal() {
+	if s.sealed {
+		panic("measure: Stream.Seal called twice")
+	}
+	s.sealed = true
+	s.m.cdn = s.m.cfg.CDNMap.compile()
+	s.res = &Results{
+		NSConcentration: concentration(s.nsSets),
+		CDNToDNS:        make(map[string]ProviderDep),
+		CAToDNS:         make(map[string]ProviderDep),
+		CAToCDN:         make(map[string]ProviderDep),
+	}
+	s.res.Sites = make([]SiteResult, len(s.sites))
+	if s.m.chainEnabled() {
+		s.hostCand = make([][]rdHost, len(s.sites))
+	}
+}
+
+// MeasureBatch runs the pass-2 per-site classification for sites [lo, hi),
+// whose pages must currently be materialized. Work within the batch fans
+// out index-placed over the worker pool, so results are independent of the
+// worker count. For chain runs it then captures the batch's vendor-host
+// candidates sequentially, before the caller releases the pages.
+func (s *Stream) MeasureBatch(ctx context.Context, lo, hi int) error {
+	if !s.sealed {
+		panic("measure: Stream.MeasureBatch before Seal")
+	}
+	m := s.m
+	sitePass := telemetry.StartSpan("measure.site_pass")
+	err := conc.ForEach(ctx, hi-lo, m.cfg.Workers, conc.FailFast, func(ctx context.Context, j int) error {
+		i := lo + j
+		sc := &SiteContext{
+			Site:   s.sites[i],
+			Rank:   i + 1,
+			NS:     s.nsSets[i],
+			Conc:   s.res.NSConcentration,
+			Result: &s.res.Sites[i],
+			m:      m,
+		}
+		sc.Result.Site, sc.Result.Rank = sc.Site, sc.Rank
+		return m.dispatch(ctx, sc)
+	})
+	sitePass.End()
+	if err != nil {
+		return err
+	}
+
+	if s.hostCand != nil && m.cfg.Pages != nil {
+		for i := lo; i < hi; i++ {
+			if len(s.res.Sites[i].Chains) == 0 {
+				continue
+			}
+			page := m.cfg.Pages.Page(s.sites[i])
+			if page == nil {
+				continue
+			}
+			var cand []rdHost
+			for _, r := range page.Resources {
+				if r.Host == "" {
+					continue
+				}
+				rd := publicsuffix.RegistrableDomain(r.Host)
+				if rd == "" {
+					continue
+				}
+				dup := false
+				for _, c := range cand {
+					if c.host == r.Host {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cand = append(cand, rdHost{rd: rd, host: r.Host})
+				}
+			}
+			s.hostCand[i] = cand
+		}
+	}
+	return nil
+}
+
+// Finish runs the cross-site accounting and the pass-3/pass-4
+// inter-service measurements, and returns the completed Results. Pages may
+// already be fully released: pass 3 needs only the per-site aggregates and
+// the resident zones, and pass 4 replays the vendor-host candidates
+// captured batch by batch.
+func (s *Stream) Finish(ctx context.Context) (*Results, error) {
+	if !s.sealed {
+		panic("measure: Stream.Finish before Seal")
+	}
+	if s.finished {
+		panic("measure: Stream.Finish called twice")
+	}
+	s.finished = true
+	m := s.m
+	res := s.res
+
+	res.EvidenceCounts = make(map[string]int)
+	for i := range res.Sites {
+		if res.Sites[i].DNS.Class == core.ClassUnknown {
+			uncharacterizedSites.Inc()
+		}
+		for _, pair := range res.Sites[i].DNS.Pairs {
+			res.PairStats.Total++
+			switch pair.Class {
+			case Private:
+				res.PairStats.Private++
+			case Third:
+				res.PairStats.Third++
+			default:
+				res.PairStats.Uncharacterized++
+			}
+			if pair.Evidence != "" {
+				res.EvidenceCounts[pair.Evidence]++
+			}
+		}
+	}
+
+	interPass := telemetry.StartSpan("measure.interservice_pass")
+	err := m.interService(ctx, res)
+	interPass.End()
+	if err != nil {
+		return nil, err
+	}
+
+	if m.chainEnabled() {
+		chainPass := telemetry.StartSpan("measure.chain_pass")
+		err = s.chainFinish(ctx, res)
+		chainPass.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Diagnostics = m.diag.snapshot(m.stageOrder(), m.cfg.Resolver.Stats())
+	res.Telemetry = telemetry.Default.Snapshot()
+	return res, nil
+}
+
+// chainFinish is the streaming pass 4: the vendor population is complete
+// only now, so the per-batch host candidates are filtered through it —
+// site order and first-seen dedup reproduce the monolithic walk exactly —
+// and the vendors resolved as usual.
+func (s *Stream) chainFinish(ctx context.Context, res *Results) error {
+	vendors := s.m.chainAggregates(res)
+	vendorHosts := make(map[string][]string, len(vendors))
+	for i := range res.Sites {
+		for _, c := range s.hostCand[i] {
+			if !vendors[c.rd] {
+				continue
+			}
+			if hosts := vendorHosts[c.rd]; !containsStr(hosts, c.host) {
+				vendorHosts[c.rd] = append(vendorHosts[c.rd], c.host)
+			}
+		}
+	}
+	sortVendorHosts(vendorHosts)
+	return s.m.chainResolve(ctx, res, vendors, vendorHosts)
+}

@@ -1,0 +1,179 @@
+package measure
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"depscope/internal/chain"
+	"depscope/internal/ecosystem"
+)
+
+// streamView extends the pinned measurement view with the chain arrangement
+// maps: the streaming path must reproduce the whole of Run's output,
+// including pass 4, not just the pinned subset.
+type streamView struct {
+	pinnedView
+	ResourceToDNS map[string]ProviderDep
+	ResourceToCDN map[string]ProviderDep
+}
+
+func streamHash(t *testing.T, res *Results) string {
+	t.Helper()
+	view := streamView{
+		pinnedView: pinnedView{
+			Sites:           res.Sites,
+			NSConcentration: res.NSConcentration,
+			PairStats:       res.PairStats,
+			EvidenceCounts:  res.EvidenceCounts,
+			CDNToDNS:        res.CDNToDNS,
+			CAToDNS:         res.CAToDNS,
+			CAToCDN:         res.CAToCDN,
+		},
+		ResourceToDNS: res.ResourceToDNS,
+		ResourceToCDN: res.ResourceToCDN,
+	}
+	b, err := json.Marshal(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// driveStream runs the full chunked pipeline — zones per batch, seal, pages
+// per batch with release — against a streaming universe materialization.
+func driveStream(t *testing.T, u *ecosystem.Universe, snap ecosystem.Snapshot,
+	chains *chain.Config, workers, batch int) *Results {
+	t.Helper()
+	c := ecosystem.NewChunked(u, snap)
+	if chains != nil {
+		c.EnableChains(*chains)
+	}
+	w := c.World()
+	st, err := NewStream(c.SiteNames(), Config{
+		Resolver: w.NewResolver(),
+		Certs:    w.Certs,
+		Pages:    w,
+		CDNMap:   CDNMap(w.CNAMEToCDN),
+		Workers:  workers,
+		Chains:   chains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	n := c.Len()
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		c.AddSites(lo, hi)
+		if err := st.ResolveBatch(ctx, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Seal()
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		c.MaterializePages(lo, hi)
+		if err := st.MeasureBatch(ctx, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		c.ReleasePages(lo, hi)
+	}
+	if len(w.Pages) != 0 {
+		t.Fatalf("stream left %d pages resident", len(w.Pages))
+	}
+	res, err := st.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStreamMatchesRun is the streaming pinning property: batching the
+// materialization and measurement — with pages released after each batch —
+// produces the byte-identical measurement output of the monolithic
+// Materialize + Run, with and without chains, across awkward batch sizes.
+func TestStreamMatchesRun(t *testing.T) {
+	cfg := chain.Default()
+	for _, tc := range []struct {
+		name   string
+		chains *chain.Config
+	}{{"plain", nil}, {"chains", &cfg}} {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := ecosystem.Generate(ecosystem.Options{Scale: 300, Seed: 2020})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := ecosystem.Materialize(u, ecosystem.Y2020)
+			if tc.chains != nil {
+				ecosystem.MaterializeChains(u, w, *tc.chains)
+			}
+			mono, err := Run(context.Background(), w.Sites, Config{
+				Resolver: w.NewResolver(),
+				Certs:    w.Certs,
+				Pages:    w,
+				CDNMap:   CDNMap(w.CNAMEToCDN),
+				Workers:  4,
+				Chains:   tc.chains,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := streamHash(t, mono)
+			for _, batch := range []int{1000, 64, 37} {
+				res := driveStream(t, u, ecosystem.Y2020, tc.chains, 4, batch)
+				if got := streamHash(t, res); got != want {
+					t.Errorf("batch %d: stream hash %s != monolithic %s", batch, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamWorkerDeterminism pins worker-count independence on the
+// streaming path, mirroring the Run determinism guarantee.
+func TestStreamWorkerDeterminism(t *testing.T) {
+	u, err := ecosystem.Generate(ecosystem.Options{Scale: 250, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chain.Default()
+	var want string
+	for i, workers := range []int{1, 4, 13} {
+		res := driveStream(t, u, ecosystem.Y2020, &cfg, workers, 50)
+		got := streamHash(t, res)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("workers=%d: hash %s != workers=1 hash %s", workers, got, want)
+		}
+	}
+}
+
+// TestStreamRejectsCheckpointing: the streaming path refuses checkpoint
+// configs instead of silently ignoring them.
+func TestStreamRejectsCheckpointing(t *testing.T) {
+	u, err := ecosystem.Generate(ecosystem.Options{Scale: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ecosystem.NewChunked(u, ecosystem.Y2020)
+	w := c.World()
+	_, err = NewStream(c.SiteNames(), Config{
+		Resolver:     w.NewResolver(),
+		OnCheckpoint: func(*Checkpoint) error { return nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "streaming") {
+		t.Fatalf("want streaming-checkpoint rejection, got %v", err)
+	}
+}

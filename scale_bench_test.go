@@ -1,0 +1,139 @@
+package depscope
+
+// Scale benchmarks: the columnar graph engine's memory story and the
+// memory-budgeted 1M-site end-to-end run. docs/bench.sh's "scale" suite
+// records both into BENCH_scale.json; the suite's awk gate fails unless the
+// compact representation holds at least 4x fewer bytes per site than the
+// pointer graph at the paper's 100K scale.
+//
+// bytes_per_site is measured as retained live heap: GC, read HeapAlloc,
+// build the graph from the shared measurement results, GC again, read
+// again. Strings are shared with the measurement results on both sides (the
+// pointer graph aliases them, the columnar one interns them into the
+// process-wide dictionary, populated by the warm-up build), so the delta
+// isolates what each representation itself adds.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"depscope/internal/analysis"
+	"depscope/internal/ecosystem"
+	"depscope/internal/measure"
+	"depscope/internal/membudget"
+)
+
+const scaleBenchSites = 100000
+
+var (
+	scaleOnce sync.Once
+	scaleRes  *measure.Results
+	scaleErr  error
+)
+
+// scaleFixture measures a 100K-site 2020 world once and shares the results
+// across benchmark arms, so each arm times only its graph construction.
+func scaleFixture(b *testing.B) *measure.Results {
+	b.Helper()
+	scaleOnce.Do(func() {
+		u, err := ecosystem.Generate(ecosystem.Options{Scale: scaleBenchSites, Seed: 1})
+		if err != nil {
+			scaleErr = err
+			return
+		}
+		w := ecosystem.Materialize(u, ecosystem.Y2020)
+		scaleRes, scaleErr = measure.Run(context.Background(), w.Sites, measure.Config{
+			Resolver: w.NewResolver(),
+			Certs:    w.Certs,
+			Pages:    w,
+			CDNMap:   measure.CDNMap(w.CNAMEToCDN),
+		})
+	})
+	if scaleErr != nil {
+		b.Fatal(scaleErr)
+	}
+	return scaleRes
+}
+
+// retainedBytes builds a graph and returns it with the live-heap delta it
+// retains. The pre/post GC pair discards construction garbage, so the delta
+// is the representation's resident footprint, not its allocation churn.
+func retainedBytes(build func() any) (any, uint64) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	v := build()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc <= before.HeapAlloc {
+		return v, 0
+	}
+	return v, after.HeapAlloc - before.HeapAlloc
+}
+
+// BenchmarkGraphBytes prices the two graph representations against each
+// other at 100K sites: ns/op is construction time, bytes_per_site is the
+// retained footprint per site. The compact arm's ≥4x advantage is the
+// tentpole acceptance gate, enforced by docs/bench.sh scale.
+func BenchmarkGraphBytes(b *testing.B) {
+	res := scaleFixture(b)
+	nSites := float64(len(res.Sites))
+
+	// Warm-up builds: populate the interner's global dictionary and touch
+	// both construction paths once, so neither arm's first iteration pays
+	// one-time process-wide costs.
+	analysis.BuildGraph(res)
+	analysis.BuildCompactGraph(res)
+
+	b.Run("pointer-100K", func(b *testing.B) {
+		var perSite float64
+		for i := 0; i < b.N; i++ {
+			g, bytes := retainedBytes(func() any { return analysis.BuildGraph(res) })
+			perSite = float64(bytes) / nSites
+			runtime.KeepAlive(g)
+		}
+		b.ReportMetric(perSite, "bytes_per_site")
+	})
+	b.Run("compact-100K", func(b *testing.B) {
+		var perSite float64
+		for i := 0; i < b.N; i++ {
+			cg, bytes := retainedBytes(func() any { return analysis.BuildCompactGraph(res) })
+			perSite = float64(bytes) / nSites
+			runtime.KeepAlive(cg)
+		}
+		b.ReportMetric(perSite, "bytes_per_site")
+	})
+}
+
+// BenchmarkMeasureRun1M is the first-class 1M-site run: the full compact
+// pipeline — generate, stream-materialize, measure in batches, build the
+// columnar graph — under an 8GiB live-heap budget. One iteration is a
+// complete run; docs/bench.sh scale records it with -benchtime 1x (the
+// single-iteration allowlist in its low-iteration warning). bytes_per_site
+// here is the columnar graph's own accounting at 1M sites.
+func BenchmarkMeasureRun1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-site arm")
+	}
+	var perSite float64
+	for i := 0; i < b.N; i++ {
+		run, err := analysis.Execute(context.Background(), analysis.Options{
+			Scale:     1000000,
+			Seed:      1,
+			MemBudget: 8 * membudget.GiB,
+			Snapshots: []ecosystem.Snapshot{ecosystem.Y2020},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cg := run.Y2020.Compact
+		if cg == nil || cg.NSites() == 0 {
+			b.Fatal("1M run produced no compact graph")
+		}
+		perSite = float64(cg.Bytes()) / float64(cg.NSites())
+	}
+	b.ReportMetric(perSite, "bytes_per_site")
+}
